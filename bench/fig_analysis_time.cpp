@@ -1,0 +1,75 @@
+// Experiment E6 — compile-time cost of predicated analysis vs the base
+// array data-flow analysis, over the whole corpus (google-benchmark).
+//
+// The paper argues the predicated extension is affordable at compile
+// time; this measures base vs predicated (and the compile-time-only
+// ablation) end-to-end analysis cost per program and in aggregate.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+using namespace padfa;
+using namespace padfa::bench;
+
+namespace {
+
+struct Parsed {
+  std::unique_ptr<Program> program;
+};
+
+Parsed parseEntry(const CorpusEntry& e) {
+  DiagEngine diags;
+  auto p = parseProgram(instantiate(e), diags);
+  if (!p || !analyze(*p, diags)) {
+    std::fprintf(stderr, "%s: %s\n", e.name.c_str(), diags.dump().c_str());
+    std::exit(1);
+  }
+  return {std::move(p)};
+}
+
+void BM_BaseAnalysisCorpus(benchmark::State& state) {
+  std::vector<Parsed> parsed;
+  for (const auto& e : corpus()) parsed.push_back(parseEntry(e));
+  for (auto _ : state) {
+    for (auto& p : parsed) {
+      AnalysisResult r = analyzeProgram(*p.program,
+                                        AnalysisConfig::baseline());
+      benchmark::DoNotOptimize(r.plans.size());
+    }
+  }
+  state.counters["programs"] = static_cast<double>(parsed.size());
+}
+
+void BM_PredicatedAnalysisCorpus(benchmark::State& state) {
+  std::vector<Parsed> parsed;
+  for (const auto& e : corpus()) parsed.push_back(parseEntry(e));
+  for (auto _ : state) {
+    for (auto& p : parsed) {
+      AnalysisResult r = analyzeProgram(*p.program,
+                                        AnalysisConfig::predicated());
+      benchmark::DoNotOptimize(r.plans.size());
+    }
+  }
+  state.counters["programs"] = static_cast<double>(parsed.size());
+}
+
+void BM_CompileTimeOnlyAnalysisCorpus(benchmark::State& state) {
+  std::vector<Parsed> parsed;
+  for (const auto& e : corpus()) parsed.push_back(parseEntry(e));
+  for (auto _ : state) {
+    for (auto& p : parsed) {
+      AnalysisResult r = analyzeProgram(*p.program,
+                                        AnalysisConfig::compileTimeOnly());
+      benchmark::DoNotOptimize(r.plans.size());
+    }
+  }
+  state.counters["programs"] = static_cast<double>(parsed.size());
+}
+
+}  // namespace
+
+BENCHMARK(BM_BaseAnalysisCorpus)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PredicatedAnalysisCorpus)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CompileTimeOnlyAnalysisCorpus)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

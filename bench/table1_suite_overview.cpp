@@ -1,0 +1,69 @@
+// Experiment E1 — Table 1: benchmark suite overview.
+//
+// Paper form: for every program, how many loops it has, how many the base
+// SUIF system parallelizes, how many candidates remain, and how many of
+// those the ELPD run-time test reports as inherently parallel on the
+// reference input. (Paper headline: >4000 loops total, base parallelizes
+// over 50%; our corpus reproduces the *shape* at smaller scale.)
+#include "bench_util.h"
+#include "support/table.h"
+
+using namespace padfa;
+using namespace padfa::bench;
+
+int main() {
+  TextTable table({"program", "suite", "loops", "base-par", "not-cand",
+                   "nested", "candidates", "ELPD-par"});
+  int tot_loops = 0, tot_base = 0, tot_cand = 0, tot_elpd = 0;
+  std::string cur_suite;
+  for (const auto& e : corpus()) {
+    CompiledProgram cp = compileOrDie(e);
+    ElpdCollector elpd = runElpd(cp);
+    int loops = 0, base_par = 0, not_cand = 0, nested = 0, cand = 0,
+        elpd_par = 0;
+    for (const LoopNode* node : cp.loops.allLoops()) {
+      ++loops;
+      const LoopPlan* bp = cp.base.planFor(node->loop);
+      if (!bp || bp->status == LoopStatus::NotCandidate) {
+        ++not_cand;
+        continue;
+      }
+      if (bp->status == LoopStatus::Parallel) {
+        ++base_par;
+        continue;
+      }
+      if (nestedInsideParallelized(cp, node->loop, cp.base)) {
+        ++nested;
+        continue;
+      }
+      ++cand;
+      if (elpd.verdict(node->loop).parallelizable()) ++elpd_par;
+    }
+    if (e.suite != cur_suite) {
+      if (!cur_suite.empty()) table.addSeparator();
+      cur_suite = e.suite;
+    }
+    table.addRow({e.name, e.suite, std::to_string(loops),
+                  std::to_string(base_par), std::to_string(not_cand),
+                  std::to_string(nested), std::to_string(cand),
+                  std::to_string(elpd_par)});
+    tot_loops += loops;
+    tot_base += base_par;
+    tot_cand += cand;
+    tot_elpd += elpd_par;
+  }
+  table.addSeparator();
+  table.addRow({"TOTAL", "", std::to_string(tot_loops),
+                std::to_string(tot_base), "", "", std::to_string(tot_cand),
+                std::to_string(tot_elpd)});
+  std::printf("Table 1: suite overview (base system + ELPD inherent "
+              "parallelism)\n%s\n",
+              table.render().c_str());
+  std::printf("base parallelizes %s of all loops "
+              "(paper: over 50%% of >4000 loops)\n",
+              fmtPercent(tot_base, tot_loops).c_str());
+  std::printf("ELPD finds %d inherently parallel loops among %d "
+              "remaining candidates\n",
+              tot_elpd, tot_cand);
+  return 0;
+}

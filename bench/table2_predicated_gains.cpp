@@ -1,0 +1,56 @@
+// Experiment E2 — Table 2: loops newly parallelized by predicated array
+// data-flow analysis.
+//
+// Paper form: per program, how many additional loops the predicated
+// system parallelizes, split into compile-time and run-time-test
+// parallelization, and what fraction of the ELPD-reported inherently
+// parallel remainder that recovers. Headlines reproduced: additional
+// loops in 9 programs; >40% of the remainder recovered.
+#include "bench_util.h"
+#include "support/table.h"
+
+using namespace padfa;
+using namespace padfa::bench;
+
+int main() {
+  TextTable table({"program", "candidates", "ELPD-par", "pred-CT",
+                   "pred-RT", "recovered", "% of remainder"});
+  int tot_cand = 0, tot_elpd = 0, tot_ct = 0, tot_rt = 0;
+  int programs_with_gains = 0;
+  for (const auto& e : corpus()) {
+    CompiledProgram cp = compileOrDie(e);
+    ElpdCollector elpd = runElpd(cp);
+    int cand = 0, elpd_par = 0, ct = 0, rt = 0;
+    for (const LoopNode* node : cp.loops.allLoops()) {
+      if (!isCandidate(cp, node->loop)) continue;
+      ++cand;
+      if (elpd.verdict(node->loop).parallelizable()) ++elpd_par;
+      const LoopPlan* pp = cp.pred.planFor(node->loop);
+      if (!pp) continue;
+      if (pp->status == LoopStatus::Parallel) ++ct;
+      if (pp->status == LoopStatus::RuntimeTest) ++rt;
+    }
+    if (ct + rt > 0) ++programs_with_gains;
+    table.addRow({e.name, std::to_string(cand), std::to_string(elpd_par),
+                  std::to_string(ct), std::to_string(rt),
+                  std::to_string(ct + rt),
+                  fmtPercent(ct + rt, elpd_par)});
+    tot_cand += cand;
+    tot_elpd += elpd_par;
+    tot_ct += ct;
+    tot_rt += rt;
+  }
+  table.addSeparator();
+  table.addRow({"TOTAL", std::to_string(tot_cand), std::to_string(tot_elpd),
+                std::to_string(tot_ct), std::to_string(tot_rt),
+                std::to_string(tot_ct + tot_rt),
+                fmtPercent(tot_ct + tot_rt, tot_elpd)});
+  std::printf("Table 2: loops newly parallelized by predicated analysis\n%s\n",
+              table.render().c_str());
+  std::printf("predicated analysis parallelizes %s of the inherently "
+              "parallel remainder (paper: more than 40%%)\n",
+              fmtPercent(tot_ct + tot_rt, tot_elpd).c_str());
+  std::printf("programs gaining additional loops: %d (paper: 9)\n",
+              programs_with_gains);
+  return 0;
+}

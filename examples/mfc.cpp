@@ -1,0 +1,158 @@
+// mfc — command-line front door to the library.
+//
+//   mfc report  <file.mf|corpus:NAME>        parallelization report
+//   mfc run     <file.mf|corpus:NAME> [T]    execute (T threads, default 1)
+//   mfc elpd    <file.mf|corpus:NAME>        ELPD-inspect candidate loops
+//   mfc emit    <file.mf|corpus:NAME>        emit transformed parallel MF
+//   mfc list                                 list corpus programs
+//
+// Sources can come from disk or from the built-in corpus via the
+// `corpus:` prefix.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/parallel_emit.h"
+#include "corpus/corpus.h"
+#include "driver/padfa.h"
+
+using namespace padfa;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mfc report|run|elpd|emit <file.mf|corpus:NAME> [threads]\n"
+      "       mfc list\n");
+  return 2;
+}
+
+bool loadSource(const std::string& spec, std::string& out) {
+  if (spec.rfind("corpus:", 0) == 0) {
+    const CorpusEntry* e = corpusEntry(spec.substr(7));
+    if (!e) {
+      std::fprintf(stderr, "unknown corpus program '%s'\n",
+                   spec.substr(7).c_str());
+      return false;
+    }
+    out = instantiate(*e);
+    return true;
+  }
+  std::ifstream in(spec);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", spec.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+int report(const CompiledProgram& cp) {
+  std::printf("%-16s %-6s %-14s %-14s %s\n", "loop", "depth", "base",
+              "predicated", "notes");
+  for (const LoopNode* node : cp.loops.allLoops()) {
+    const LoopPlan* bp = cp.base.planFor(node->loop);
+    const LoopPlan* pp = cp.pred.planFor(node->loop);
+    if (!bp || !pp) continue;
+    std::string notes;
+    if (pp->status == LoopStatus::RuntimeTest)
+      notes = "test: " + pp->runtime_test.str(cp.interner());
+    else if (pp->status == LoopStatus::Sequential)
+      notes = pp->reason;
+    for (const auto& pa : pp->privatized) {
+      notes += " [private " +
+               std::string(cp.interner().str(pa.array->name)) +
+               (pa.copy_in ? "+in" : "") + (pa.copy_out ? "+out" : "") + "]";
+    }
+    for (const auto& red : pp->reductions)
+      notes += " [reduction " +
+               std::string(cp.interner().str(red.scalar->name)) + "]";
+    std::printf("%-16s %-6d %-14s %-14s %s\n", node->loop->loop_id.c_str(),
+                node->depth, std::string(loopStatusName(bp->status)).c_str(),
+                std::string(loopStatusName(pp->status)).c_str(),
+                notes.c_str());
+  }
+  return 0;
+}
+
+int run(const CompiledProgram& cp, unsigned threads) {
+  InterpOptions opt;
+  if (threads > 1) {
+    opt.plans = &cp.pred;
+    opt.num_threads = threads;
+  }
+  InterpStats s = execute(*cp.program, opt);
+  std::printf("checksum            : %.9f (%llu sink calls)\n", s.checksum,
+              static_cast<unsigned long long>(s.sink_count));
+  std::printf("wall time           : %.3f ms\n", 1e3 * s.total_seconds);
+  if (threads > 1) {
+    std::printf("simulated %u-proc   : %.3f ms\n", threads,
+                1e3 * s.simulated_seconds);
+    std::printf("parallel loops      : %llu entered, %llu run-time tests "
+                "(%llu passed)\n",
+                static_cast<unsigned long long>(s.parallel_loops_entered),
+                static_cast<unsigned long long>(s.runtime_tests_evaluated),
+                static_cast<unsigned long long>(s.runtime_tests_passed));
+  }
+  return 0;
+}
+
+int elpd(const CompiledProgram& cp) {
+  ElpdCollector collector;
+  for (const LoopNode* node : cp.loops.allLoops()) {
+    const LoopPlan* bp = cp.base.planFor(node->loop);
+    if (!bp || bp->status != LoopStatus::Sequential) continue;
+    if (nestedInsideParallelized(cp, node->loop, cp.base)) continue;
+    collector.instrument(node->loop);
+  }
+  InterpOptions opt;
+  opt.elpd = &collector;
+  execute(*cp.program, opt);
+  for (const LoopNode* node : cp.loops.allLoops()) {
+    if (!collector.isInstrumented(node->loop)) continue;
+    auto v = collector.verdict(node->loop);
+    std::printf("%-16s %s\n", node->loop->loop_id.c_str(),
+                !v.executed        ? "did not execute"
+                : v.independent()  ? "independent"
+                : v.privatizable() ? "privatizable"
+                                   : "not parallel (cross-iteration flow)");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "list") == 0) {
+    for (const auto& e : corpus())
+      std::printf("%-12s %s\n", e.name.c_str(), e.suite.c_str());
+    return 0;
+  }
+  if (argc < 3) return usage();
+  std::string source;
+  if (!loadSource(argv[2], source)) return 1;
+  DiagEngine diags;
+  auto cp = compileSource(source, diags);
+  if (!cp) {
+    std::fprintf(stderr, "%s", diags.dump().c_str());
+    return 1;
+  }
+  if (std::strcmp(argv[1], "report") == 0) return report(*cp);
+  if (std::strcmp(argv[1], "run") == 0)
+    return run(*cp, argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 1);
+  if (std::strcmp(argv[1], "elpd") == 0) return elpd(*cp);
+  if (std::strcmp(argv[1], "emit") == 0) {
+    EmitStats stats;
+    std::string out = emitParallelProgram(*cp->program, cp->pred, &stats);
+    std::fputs(out.c_str(), stdout);
+    std::fprintf(stderr, "// %d parallel annotation(s), %d two-version "
+                 "loop(s)\n",
+                 stats.parallel_annotations, stats.two_version_loops);
+    return 0;
+  }
+  return usage();
+}

@@ -1,0 +1,122 @@
+// Privatization under predicates: walks the paper's Figure 1 scenarios —
+// guarded coverage (1a), predicate embedding (1c), and boundary exposure
+// with copy-in (1d family) — showing what each configuration can prove.
+#include <cstdio>
+
+#include "driver/padfa.h"
+
+using namespace padfa;
+
+namespace {
+
+struct Scenario {
+  const char* title;
+  const char* source;
+};
+
+const Scenario kScenarios[] = {
+    {"Figure 1(a): write and read guarded by the same condition",
+     R"(
+proc main() {
+  int flag; flag = inoise(5, 2);
+  real out[100];
+  real help[32];
+  for i = 0 to 99 {
+    if (flag > 0) { for j = 0 to 31 { help[j] = noise(i + j); } }
+    if (flag > 0) {
+      real s; s = 0.0;
+      for j = 0 to 31 { s = s + help[j]; }
+      out[i] = s;
+    } else { out[i] = 0.0; }
+  }
+  sink(out[3]);
+}
+)"},
+    {"Figure 1(c): guard d >= 2 must be EMBEDDED for coverage",
+     R"(
+proc main() {
+  int d; d = inoise(9, 20) + 2;
+  real out[100];
+  real help[64];
+  for i = 0 to 99 {
+    if (d >= 2) { for j = 0 to d { help[j] = noise(i + j); } }
+    if (d >= 2) { out[i] = help[1] + help[2]; } else { out[i] = 0.1; }
+  }
+  sink(out[3]);
+}
+)"},
+    {"Figure 1(d) family: partial write, exposed suffix -> copy-in",
+     R"(
+proc main() {
+  int m; m = inoise(13, 1) + 40;
+  real out[100];
+  real help[64];
+  for q = 0 to 63 { help[q] = noise(q); }
+  for i = 0 to 99 {
+    for j = 0 to m - 1 { help[j] = noise(i * 64 + j); }
+    real s; s = 0.0;
+    for j = 0 to 63 { s = s + help[j]; }
+    out[i] = s;
+  }
+  sink(out[3]);
+}
+)"},
+};
+
+const char* statusOf(const CompiledProgram& cp, const AnalysisResult& r) {
+  // Report the outermost candidate loop's status.
+  for (const LoopNode* node : cp.loops.allLoops()) {
+    if (node->depth != 0) continue;
+    const LoopPlan* plan = r.planFor(node->loop);
+    if (!plan) continue;
+    if (plan->status == LoopStatus::Sequential) return "sequential";
+    if (plan->status == LoopStatus::RuntimeTest) return "run-time test";
+    if (plan->status == LoopStatus::Parallel && plan->priv_used)
+      return "parallel (privatized)";
+  }
+  return "parallel";
+}
+
+}  // namespace
+
+int main() {
+  for (const auto& sc : kScenarios) {
+    DiagEngine diags;
+    auto cp = compileSource(sc.source, diags);
+    if (!cp) {
+      std::fprintf(stderr, "%s", diags.dump().c_str());
+      return 1;
+    }
+    // Find the main outer loop (the one with a privatization candidate).
+    const LoopPlan* outer = nullptr;
+    for (const LoopNode* node : cp->loops.allLoops())
+      if (node->depth == 0 && cp->pred.planFor(node->loop) &&
+          !outer)  // first outermost loop with a plan
+        outer = cp->pred.planFor(node->loop);
+    std::printf("%s\n", sc.title);
+    std::printf("  base SUIF      : %s\n", statusOf(*cp, cp->base));
+    std::printf("  predicated     : %s\n", statusOf(*cp, cp->pred));
+    // Show privatization details from the main gained loop.
+    for (const LoopNode* node : cp->loops.allLoops()) {
+      const LoopPlan* plan = cp->pred.planFor(node->loop);
+      if (!plan || plan->privatized.empty()) continue;
+      for (const auto& pa : plan->privatized) {
+        std::printf("  %-14s : privatize '%s'%s%s\n",
+                    node->loop->loop_id.c_str(),
+                    std::string(cp->interner().str(pa.array->name)).c_str(),
+                    pa.copy_in ? " with copy-in" : "",
+                    pa.copy_out ? " + last-value copy-out" : "");
+      }
+    }
+    // Verify execution equivalence.
+    InterpStats seq = execute(*cp->program, {});
+    InterpOptions par;
+    par.plans = &cp->pred;
+    par.num_threads = 4;
+    InterpStats pst = execute(*cp->program, par);
+    std::printf("  execution      : seq=%.6f par=%.6f (%s)\n\n",
+                seq.checksum, pst.checksum,
+                seq.checksum == pst.checksum ? "match" : "MISMATCH");
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: compile an MF program, compare base vs predicated
+// parallelization, and execute it in parallel.
+//
+//   $ ./examples/quickstart
+//
+// This walks the full pipeline a library user would: source -> analysis
+// -> per-loop plans -> two-version parallel execution.
+#include <cstdio>
+
+#include "driver/padfa.h"
+
+using namespace padfa;
+
+static const char* kSource = R"(
+// A conditionally-defined work array: the write and the read of `help`
+// are guarded by the same run-time flag, so only predicated analysis can
+// prove the loop parallel (Figure 1(a) of the paper).
+proc main() {
+  int n; n = 2000;
+  int flag; flag = inoise(1, 2);
+  real out[2000];
+  real help[64];
+  for i = 0 to n - 1 {
+    if (flag > 0) {
+      for j = 0 to 63 { help[j] = noise(i * 64 + j); }
+    }
+    if (flag > 0) {
+      real s; s = 0.0;
+      for j = 0 to 63 { s = s + help[j]; }
+      out[i] = s;
+    } else {
+      out[i] = noise(i);
+    }
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + out[i]; }
+  sink(chk);
+}
+)";
+
+int main() {
+  DiagEngine diags;
+  auto cp = compileSource(kSource, diags);
+  if (!cp) {
+    std::fprintf(stderr, "compile failed:\n%s", diags.dump().c_str());
+    return 1;
+  }
+
+  std::printf("Per-loop plans (base SUIF vs predicated analysis):\n");
+  for (const LoopNode* node : cp->loops.allLoops()) {
+    const LoopPlan* bp = cp->base.planFor(node->loop);
+    const LoopPlan* pp = cp->pred.planFor(node->loop);
+    std::printf("  %-12s depth %d : base=%-13s pred=%-13s%s%s\n",
+                node->loop->loop_id.c_str(), node->depth,
+                std::string(loopStatusName(bp->status)).c_str(),
+                std::string(loopStatusName(pp->status)).c_str(),
+                pp->priv_used ? "  [privatizes]" : "",
+                bp->status == LoopStatus::Sequential
+                    ? ("  (base: " + bp->reason + ")").c_str()
+                    : "");
+  }
+
+  InterpStats seq = execute(*cp->program, {});
+  InterpOptions par;
+  par.plans = &cp->pred;
+  par.num_threads = 4;
+  InterpStats pstats = execute(*cp->program, par);
+
+  std::printf("\nsequential checksum  : %.6f  (%.3f ms)\n", seq.checksum,
+              1e3 * seq.total_seconds);
+  std::printf("parallel checksum    : %.6f  (%.3f ms wall, %.3f ms "
+              "simulated 4-proc)\n",
+              pstats.checksum, 1e3 * pstats.total_seconds,
+              1e3 * pstats.simulated_seconds);
+  std::printf("parallel loops entered: %llu\n",
+              static_cast<unsigned long long>(pstats.parallel_loops_entered));
+  return seq.checksum == pstats.checksum ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Two-version loops in action: a loop with a symbolic dependence distance
+// gets a run-time independence test derived by predicate extraction; this
+// demo shows the derived test and both dispatch outcomes.
+#include <cmath>
+#include <cstdio>
+
+#include "driver/padfa.h"
+
+using namespace padfa;
+
+static std::string sourceWithDistance(int d) {
+  return R"(
+proc main() {
+  int n; n = 4000;
+  int d; d = inoise(3, 1) + )" + std::to_string(d) + R"(;
+  real x[12000];
+  for j = 0 to 3 * n - 1 { x[j] = noise(j); }
+  for i = n to 2 * n - 1 {
+    x[i] = x[i - d] * 0.5 + 1.0;
+  }
+  real chk; chk = 0.0;
+  for i = 0 to 3 * n - 1 { chk = chk + x[i]; }
+  sink(chk);
+}
+)";
+}
+
+static void runCase(int d, const char* label) {
+  DiagEngine diags;
+  auto cp = compileSource(sourceWithDistance(d), diags);
+  if (!cp) {
+    std::fprintf(stderr, "%s", diags.dump().c_str());
+    std::exit(1);
+  }
+  const LoopPlan* rt_plan = nullptr;
+  for (const auto& [loop, plan] : cp->pred.plans)
+    if (plan.status == LoopStatus::RuntimeTest) rt_plan = &plan;
+  if (!rt_plan) {
+    std::printf("%s: no run-time test derived (unexpected)\n", label);
+    return;
+  }
+  std::printf("%s\n", label);
+  std::printf("  derived test : %s\n",
+              rt_plan->runtime_test.str(cp->interner()).c_str());
+  std::printf("  test cost    : %zu atom evaluations at loop entry\n",
+              rt_plan->runtime_test.atomCount());
+
+  InterpStats seq = execute(*cp->program, {});
+  InterpOptions par;
+  par.plans = &cp->pred;
+  par.num_threads = 4;
+  InterpStats pstats = execute(*cp->program, par);
+  bool passed = pstats.runtime_tests_passed == pstats.runtime_tests_evaluated;
+  std::printf("  at run time  : test %s -> %s version\n",
+              passed ? "PASSED" : "FAILED",
+              passed ? "parallel" : "sequential");
+  // The final checksum loop is a parallel sum reduction, so low-order FP
+  // bits may differ from the sequential association.
+  double tol = 1e-9 * (std::abs(seq.checksum) + 1.0);
+  std::printf("  checksums    : seq=%.6f par=%.6f (%s)\n\n", seq.checksum,
+              pstats.checksum,
+              std::abs(seq.checksum - pstats.checksum) <= tol ? "match"
+                                                              : "MISMATCH");
+}
+
+int main() {
+  std::printf("Predicate extraction derives a breaking condition for the "
+              "dependence x[i] <- x[i-d]:\n\n");
+  runCase(4000, "case d = n   (no overlap: independence holds)");
+  runCase(7, "case d = 7   (true dependence: must stay sequential)");
+  return 0;
+}

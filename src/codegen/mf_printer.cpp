@@ -1,0 +1,113 @@
+#include "codegen/mf_printer.h"
+
+namespace padfa {
+
+namespace {
+
+std::string printDecl(const VarDecl& d, const Interner& in) {
+  std::string out(typeName(d.elem_type));
+  out += ' ';
+  out += in.str(d.name);
+  if (d.isArray()) {
+    out += '[';
+    for (size_t i = 0; i < d.dims.size(); ++i) {
+      if (i) out += ", ";
+      out += exprToString(*d.dims[i], in);
+    }
+    out += ']';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string printStmt(const Stmt& stmt, const Interner& in,
+                      const std::string& indent, const PrintHooks& hooks) {
+  switch (stmt.kind) {
+    case StmtKind::Assign: {
+      const auto& s = static_cast<const AssignStmt&>(stmt);
+      return indent + exprToString(*s.target, in) + " = " +
+             exprToString(*s.value, in) + ";\n";
+    }
+    case StmtKind::If: {
+      const auto& s = static_cast<const IfStmt&>(stmt);
+      std::string out = indent + "if (" + exprToString(*s.cond, in) + ") {\n";
+      out += printBlock(*s.then_block, in, indent + "  ", hooks);
+      out += indent + "}";
+      if (s.else_block) {
+        out += " else {\n";
+        out += printBlock(*s.else_block, in, indent + "  ", hooks);
+        out += indent + "}";
+      }
+      out += '\n';
+      return out;
+    }
+    case StmtKind::For: {
+      const auto& s = static_cast<const ForStmt&>(stmt);
+      std::string out;
+      if (hooks.before_loop) out += hooks.before_loop(s, indent);
+      if (hooks.replace_loop) {
+        std::string replaced;
+        if (hooks.replace_loop(s, indent, replaced)) return out + replaced;
+      }
+      out += indent + "for " + std::string(in.str(s.index_name)) + " = " +
+             exprToString(*s.lower, in) + " to " +
+             exprToString(*s.upper, in);
+      if (s.step) out += " step " + exprToString(*s.step, in);
+      out += " {\n";
+      out += printBlock(*s.body, in, indent + "  ", hooks);
+      out += indent + "}\n";
+      return out;
+    }
+    case StmtKind::Call: {
+      const auto& s = static_cast<const CallStmt&>(stmt);
+      std::string out = indent + std::string(in.str(s.callee)) + "(";
+      for (size_t i = 0; i < s.args.size(); ++i) {
+        if (i) out += ", ";
+        out += exprToString(*s.args[i], in);
+      }
+      out += ");\n";
+      return out;
+    }
+    case StmtKind::Return:
+      return indent + "return;\n";
+    case StmtKind::Block: {
+      const auto& s = static_cast<const BlockStmt&>(stmt);
+      std::string out = indent + "{\n";
+      out += printBlock(s, in, indent + "  ", hooks);
+      out += indent + "}\n";
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string printBlock(const BlockStmt& block, const Interner& in,
+                       const std::string& indent, const PrintHooks& hooks) {
+  std::string out;
+  for (const auto& d : block.decls) {
+    out += indent + printDecl(*d, in);
+    if (d->init) out += " = " + exprToString(*d->init, in);
+    out += ";\n";
+  }
+  for (const auto& s : block.stmts) out += printStmt(*s, in, indent, hooks);
+  return out;
+}
+
+std::string printProgram(const Program& program, const PrintHooks& hooks) {
+  std::string out;
+  const Interner& in = program.interner;
+  for (const auto& proc : program.procs) {
+    out += "proc " + std::string(in.str(proc->name)) + "(";
+    for (size_t i = 0; i < proc->params.size(); ++i) {
+      if (i) out += ", ";
+      out += printDecl(*proc->params[i], in);
+    }
+    out += ") {\n";
+    out += printBlock(*proc->body, in, "  ", hooks);
+    out += "}\n\n";
+  }
+  return out;
+}
+
+}  // namespace padfa

@@ -1,0 +1,34 @@
+// MF pretty-printer: renders an AST back to parseable MF source.
+// Used by the parallel code generator (and handy for debugging).
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace padfa {
+
+/// Options controlling statement-level hooks during printing.
+struct PrintHooks {
+  /// Called before printing a ForStmt at its indentation level; whatever
+  /// it returns is emitted verbatim (e.g. "// @parallel ...\n"). May be
+  /// null.
+  std::function<std::string(const ForStmt&, const std::string& indent)>
+      before_loop;
+  /// If set and returns true, the loop is printed by the caller-provided
+  /// replacement instead of the default renderer.
+  std::function<bool(const ForStmt&, const std::string& indent,
+                     std::string& out)>
+      replace_loop;
+};
+
+std::string printProgram(const Program& program,
+                         const PrintHooks& hooks = {});
+std::string printBlock(const BlockStmt& block, const Interner& interner,
+                       const std::string& indent,
+                       const PrintHooks& hooks = {});
+std::string printStmt(const Stmt& stmt, const Interner& interner,
+                      const std::string& indent,
+                      const PrintHooks& hooks = {});
+
+}  // namespace padfa

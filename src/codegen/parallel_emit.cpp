@@ -1,0 +1,98 @@
+#include "codegen/parallel_emit.h"
+
+#include "codegen/mf_printer.h"
+
+namespace padfa {
+
+namespace {
+
+std::string planAnnotation(const LoopPlan& plan, const Interner& in) {
+  std::string note = "// @parallel";
+  for (const auto& pa : plan.privatized) {
+    note += " private(";
+    note += in.str(pa.array->name);
+    if (pa.copy_in) note += ",copyin";
+    if (pa.copy_out) note += ",copyout";
+    note += ")";
+  }
+  for (const VarDecl* sc : plan.private_scalars) {
+    note += " private(";
+    note += in.str(sc->name);
+    note += ")";
+  }
+  for (const auto& red : plan.reductions) {
+    const char* op = red.op == ReductionOp::Sum    ? "+"
+                     : red.op == ReductionOp::Prod ? "*"
+                     : red.op == ReductionOp::Min  ? "min"
+                                                   : "max";
+    note += " reduction(";
+    note += op;
+    note += ":";
+    note += in.str(red.scalar->name);
+    note += ")";
+  }
+  return note;
+}
+
+}  // namespace
+
+std::string emitParallelProgram(const Program& program,
+                                const AnalysisResult& plans,
+                                EmitStats* stats) {
+  EmitStats local;
+  const Interner& in = program.interner;
+
+  PrintHooks hooks;
+  // Loops currently being expanded, so the recursive print of the same
+  // ForStmt inside its own two-version expansion is rendered plainly.
+  std::vector<const ForStmt*> expanding;
+
+  hooks.before_loop = [&plans, &in, &local, &expanding](
+                          const ForStmt& loop,
+                          const std::string& indent) -> std::string {
+    const LoopPlan* plan = plans.planFor(&loop);
+    if (!plan || plan->status != LoopStatus::Parallel) return "";
+    for (const ForStmt* f : expanding)
+      if (f == &loop) return "";
+    ++local.parallel_annotations;
+    return indent + planAnnotation(*plan, in) + "\n";
+  };
+
+  // Two-version expansion. The hook prints:
+  //   if (<test>) {
+  //     // @parallel ...
+  //     <loop>
+  //   } else {
+  //     <loop>
+  //   }
+  std::function<bool(const ForStmt&, const std::string&, std::string&)>
+      replace = [&](const ForStmt& loop, const std::string& indent,
+                    std::string& out) -> bool {
+    const LoopPlan* plan = plans.planFor(&loop);
+    if (!plan || plan->status != LoopStatus::RuntimeTest) return false;
+    for (const ForStmt* f : expanding)
+      if (f == &loop) return false;
+    ++local.two_version_loops;
+    expanding.push_back(&loop);
+    std::string inner_indent = indent + "  ";
+    out = indent + "if (" + plan->runtime_test.str(in) + ") {\n";
+    out += inner_indent + planAnnotation(*plan, in) + "\n";
+    out += printStmt(loop, in, inner_indent, hooks);
+    out += indent + "} else {\n";
+    out += printStmt(loop, in, inner_indent, hooks);
+    out += indent + "}\n";
+    expanding.pop_back();
+    return true;
+  };
+  hooks.replace_loop = replace;
+
+  std::string out =
+      "// Parallelized by predicated array data-flow analysis.\n"
+      "// @parallel annotations mark loops proven parallel; two-version\n"
+      "// loops dispatch on the derived run-time test.\n\n" +
+      printProgram(program, hooks);
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace padfa

@@ -1,0 +1,39 @@
+// Source-to-source parallel code generation.
+//
+// The paper's system (like SUIF) emits transformed code: parallel loops
+// become SPMD dispatch, and loops with derived run-time tests become
+// two-version loops. This module renders the analysis result as
+// annotated MF source:
+//
+//   * a loop planned Parallel gets an `// @parallel ...` annotation line
+//     listing privatized arrays (with copy policies), private scalars,
+//     and reductions;
+//   * a loop planned RuntimeTest is EXPANDED into an explicit two-version
+//     `if (<test>) { <annotated parallel copy> } else { <original> }`;
+//   * everything else is printed unchanged.
+//
+// The emitted program is valid MF: re-parsing and executing it
+// sequentially produces exactly the original behavior (the annotations
+// are comments). This gives downstream consumers a human-auditable
+// artifact of every transformation the analysis decided on.
+#pragma once
+
+#include <string>
+
+#include "dataflow/loop_plan.h"
+#include "lang/ast.h"
+
+namespace padfa {
+
+struct EmitStats {
+  int parallel_annotations = 0;
+  int two_version_loops = 0;
+};
+
+/// Emit the transformed program for `plans` (typically the predicated
+/// analysis result).
+std::string emitParallelProgram(const Program& program,
+                                const AnalysisResult& plans,
+                                EmitStats* stats = nullptr);
+
+}  // namespace padfa

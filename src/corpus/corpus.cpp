@@ -1,0 +1,47 @@
+#include "corpus/corpus.h"
+
+#include <map>
+
+namespace padfa {
+
+const std::vector<CorpusEntry>& corpus() {
+  static const std::vector<CorpusEntry> all = [] {
+    std::vector<CorpusEntry> v;
+    auto add = [&v](std::vector<CorpusEntry> part) {
+      for (auto& e : part) v.push_back(std::move(e));
+    };
+    add(corpus_detail::specfpPrograms());
+    add(corpus_detail::nasPrograms());
+    add(corpus_detail::perfectPrograms());
+    return v;
+  }();
+  return all;
+}
+
+const CorpusEntry* corpusEntry(const std::string& name) {
+  for (const auto& e : corpus())
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+std::string instantiate(const CorpusEntry& entry, int scale) {
+  if (scale < 1) scale = 1;
+  std::string n = std::to_string(entry.base_n * scale);
+  std::string out;
+  out.reserve(entry.source.size());
+  const std::string& src = entry.source;
+  size_t pos = 0;
+  while (pos < src.size()) {
+    size_t tok = src.find("$N$", pos);
+    if (tok == std::string::npos) {
+      out.append(src, pos, std::string::npos);
+      break;
+    }
+    out.append(src, pos, tok - pos);
+    out += n;
+    pos = tok + 3;
+  }
+  return out;
+}
+
+}  // namespace padfa

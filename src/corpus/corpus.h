@@ -1,0 +1,54 @@
+// The evaluation corpus: 30 MF programs standing in for the paper's
+// benchmark suites (Specfp95, NAS, Perfect, plus one additional program).
+//
+// Substitution note (see DESIGN.md §2): the original Fortran sources are
+// licensed and run on 1990s inputs; each corpus program instead distills
+// the loop-nest patterns the paper's evaluation hinges on — doall loops,
+// privatizable scratch arrays, conditionally-defined arrays with
+// compile-time or run-time guards, boundary/distance breaking conditions,
+// interprocedural reshape, index-array accesses only a run-time test can
+// disambiguate, and genuine recurrences. Expected per-program outcomes
+// are recorded here and asserted by tests/corpus_test.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace padfa {
+
+/// What kind of gain predicated analysis is designed to achieve on the
+/// program's distinguished loop(s).
+enum class GainKind {
+  None,         // base SUIF already gets everything it can
+  CompileTime,  // additional loops parallelized at compile time
+  RuntimeTest,  // additional loops via derived run-time tests
+};
+
+struct CorpusEntry {
+  std::string name;
+  std::string suite;  // "Specfp95", "NAS", "Perfect", "other"
+  /// MF source; occurrences of "$N$" are replaced by base_n * scale.
+  std::string source;
+  int base_n = 64;
+  GainKind gain = GainKind::None;
+  /// True for the programs whose predicated gains dominate coverage and
+  /// therefore show whole-program speedup (the paper's 5 programs).
+  bool speedup_expected = false;
+};
+
+/// The full 30-program corpus, stable order.
+const std::vector<CorpusEntry>& corpus();
+
+/// Look up by name (nullptr if absent).
+const CorpusEntry* corpusEntry(const std::string& name);
+
+/// Instantiate the program source at a given scale ("$N$" -> base_n*scale).
+std::string instantiate(const CorpusEntry& entry, int scale = 1);
+
+namespace corpus_detail {
+std::vector<CorpusEntry> specfpPrograms();
+std::vector<CorpusEntry> nasPrograms();
+std::vector<CorpusEntry> perfectPrograms();
+}  // namespace corpus_detail
+
+}  // namespace padfa

@@ -1,0 +1,207 @@
+// NAS sample-benchmark stand-ins; see corpus.h.
+#include "corpus/corpus.h"
+
+namespace padfa::corpus_detail {
+
+std::vector<CorpusEntry> nasPrograms() {
+  std::vector<CorpusEntry> v;
+
+  // appbt: block-tridiagonal style — doall face loops plus a privatizable
+  // block scratch (base gets everything it can).
+  v.push_back({"appbt", "NAS", R"(
+proc main() {
+  int n; n = $N$;
+  real rhs[$N$, 5];
+  real lhs[$N$, 5];
+  real blk[25];
+  for i = 0 to n - 1 {
+    for c = 0 to 4 { rhs[i, c] = noise(i * 5 + c); }
+  }
+  for i = 0 to n - 1 {
+    for q = 0 to 24 { blk[q] = noise(i * 25 + q) * 0.1; }
+    for c = 0 to 4 {
+      real s; s = 0.0;
+      for q = 0 to 4 { s = s + blk[c * 5 + q] * rhs[i, q]; }
+      lhs[i, c] = s;
+    }
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + lhs[i, 2]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // applu_nas: lower/upper sweeps with a wavefront recurrence that stays
+  // sequential, plus doall RHS assembly.
+  v.push_back({"applu_nas", "NAS", R"(
+proc main() {
+  int n; n = $N$;
+  real f[$N$, $N$];
+  real u[$N$, $N$];
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 { f[i, j] = noise(i * n + j); }
+  }
+  for i = 1 to n - 1 {
+    for j = 1 to n - 1 {
+      u[i, j] = u[i-1, j] * 0.25 + u[i, j-1] * 0.25 + f[i, j];
+    }
+  }
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 { f[i, j] = f[i, j] * 0.5 + u[i, j] * 0.1; }
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + u[i, n - 1 - i] + f[i, i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // appsp: the interprocedural RESHAPE gain — a callee fills its 1-D
+  // formal view of the caller's 2-D array; whole-array coverage holds iff
+  // the passed length equals the total size, a predicate the analysis
+  // extracts during Reshape and tests at run time.
+  v.push_back({"appsp", "NAS", R"(
+proc fillv(real w[len], int len, int seed) {
+  for q = 0 to len - 1 { w[q] = noise(seed * 1024 + q) * 0.5 + 0.25; }
+}
+proc main() {
+  int n; n = $N$;
+  int rows; rows = 8;
+  int cols; cols = 12;
+  int len; len = inoise(19, 1) + 96;
+  real g[8, 12];
+  real out[$N$];
+  real fld[$N$, 32];
+  for i = 0 to n - 1 {
+    for j = 0 to 31 { fld[i, j] = noise(i * 32 + j) * 0.5; }
+  }
+  for i = 0 to n - 1 {
+    real t; t = 0.0;
+    for j = 0 to 31 { t = t + fld[i, j] * fld[i, j]; }
+    out[i] = t;
+  }
+  int nsweep; nsweep = 16;
+  for i = 0 to nsweep - 1 {
+    fillv(g, len, i);
+    real s; s = 0.0;
+    for r = 0 to rows - 1 {
+      for c = 0 to cols - 1 { s = s + g[r, c]; }
+    }
+    out[i] = out[i] + s * 0.001;
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + out[i]; }
+  sink(chk);
+}
+)", 64, GainKind::RuntimeTest, false});
+
+  // buk (bucket sort): rank/permute phases driven by index arrays — the
+  // scatter is input-parallel (a permutation) but no compile-time or
+  // predicated test can know; part of the uncaught ELPD remainder.
+  v.push_back({"buk", "NAS", R"(
+proc main() {
+  int n; n = $N$;
+  int key[$N$];
+  int rank[$N$];
+  real val[$N$];
+  for i = 0 to n - 1 { key[i] = (i * 13 + 5) % n; }
+  for i = 0 to n - 1 { val[i] = noise(i); }
+  for i = 0 to n - 1 { rank[key[i]] = i; }
+  for i = 0 to n - 1 { val[rank[i]] = val[rank[i]] * 1.0; }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + rank[i] + val[i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // cgm: sparse conjugate-gradient flavor — dense reductions are base
+  // parallel; the indirect gather is fine (reads only); the indirect
+  // scatter joins the uncaught remainder.
+  v.push_back({"cgm", "NAS", R"(
+proc main() {
+  int n; n = $N$;
+  int col[$N$];
+  real x[$N$];
+  real y[$N$];
+  real z[$N$];
+  for i = 0 to n - 1 { col[i] = (i * 5 + 2) % n; }
+  for i = 0 to n - 1 { x[i] = noise(i) + 0.1; }
+  for i = 0 to n - 1 { y[i] = x[col[i]] * 2.0; }
+  real dot; dot = 0.0;
+  for i = 0 to n - 1 { dot = dot + x[i] * y[i]; }
+  for i = 0 to n - 1 { z[col[i]] = y[i] + dot; }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + z[i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // embar: embarrassingly parallel gaussian-pair counting — one large
+  // reduction loop, fully base parallel.
+  v.push_back({"embar", "NAS", R"(
+proc main() {
+  int n; n = $N$;
+  real sx; sx = 0.0;
+  real sy; sy = 0.0;
+  for i = 0 to n - 1 {
+    real t1; t1 = noise(2 * i);
+    real t2; t2 = noise(2 * i + 1);
+    sx = sx + t1 * t1;
+    sy = sy + t2 * t2;
+  }
+  sink(sx);
+  sink(sy);
+}
+)", 4096, GainKind::None, false});
+
+  // fftpde: butterfly passes — strided doall loops (stride-2 disjointness
+  // needs the gcd tightening) plus a bit-reversal permutation copy.
+  v.push_back({"fftpde", "NAS", R"(
+proc main() {
+  int n; n = $N$;
+  real re[$N$];
+  real im[$N$];
+  real tmp[$N$];
+  for i = 0 to n - 1 {
+    re[i] = noise(i);
+    im[i] = noise(i + 424242);
+  }
+  for i = 0 to n - 1 step 2 {
+    tmp[i] = re[i] + re[i + 1];
+    tmp[i + 1] = re[i] - re[i + 1];
+  }
+  for i = 0 to n - 1 step 2 {
+    re[i] = tmp[i] * 0.5 + im[i] * 0.1;
+    re[i + 1] = tmp[i + 1] * 0.5 - im[i + 1] * 0.1;
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + re[i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // mgrid_nas: 1-D multigrid restriction/prolongation ladder, doall at
+  // each level, with an interprocedural smoothing kernel.
+  v.push_back({"mgrid_nas", "NAS", R"(
+proc relax(real dst[n], real src[n], int n) {
+  for i = 1 to n - 2 {
+    dst[i] = (src[i-1] + src[i] * 2.0 + src[i+1]) * 0.25;
+  }
+}
+proc main() {
+  int n; n = $N$;
+  real fine[$N$];
+  real coarse[$N$];
+  for i = 0 to n - 1 { fine[i] = noise(i); }
+  relax(coarse, fine, n);
+  for i = 0 to n / 2 - 1 { coarse[i] = coarse[2 * i] * 0.5; }
+  relax(fine, coarse, n);
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + fine[i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  return v;
+}
+
+}  // namespace padfa::corpus_detail

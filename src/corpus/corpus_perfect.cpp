@@ -1,0 +1,289 @@
+// Perfect-club stand-ins plus the paper's one additional program.
+#include "corpus/corpus.h"
+
+namespace padfa::corpus_detail {
+
+std::vector<CorpusEntry> perfectPrograms() {
+  std::vector<CorpusEntry> v;
+
+  // adm: pollutant transport sweeps — base-parallel stencils and a
+  // vertical recurrence.
+  v.push_back({"adm", "Perfect", R"(
+proc main() {
+  int n; n = $N$;
+  real c[$N$, $N$];
+  real w[$N$, $N$];
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 { c[i, j] = noise(i * n + j) * 0.5; }
+  }
+  for i = 1 to n - 2 {
+    for j = 0 to n - 1 {
+      w[i, j] = (c[i-1, j] + c[i+1, j]) * 0.5 - c[i, j] * 0.1;
+    }
+  }
+  for j = 0 to n - 1 {
+    for i = 1 to n - 1 { c[i, j] = c[i-1, j] * 0.2 + w[i, j]; }
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + c[i, 0]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // arc2d: implicit-solver sweeps with a privatizable pencil buffer.
+  v.push_back({"arc2d", "Perfect", R"(
+proc main() {
+  int n; n = $N$;
+  real q[$N$, $N$];
+  real r[$N$, $N$];
+  real pencil[$N$];
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 { q[i, j] = noise(i * n + j) + 0.5; }
+  }
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 { pencil[j] = q[i, j] * 2.0; }
+    for j = 1 to n - 2 {
+      r[i, j] = (pencil[j-1] + pencil[j+1]) * 0.5 - pencil[j];
+    }
+    r[i, 0] = pencil[0];
+    r[i, n - 1] = pencil[n - 1];
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + r[i, i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // bdna: molecular-dynamics style with a true accumulation recurrence
+  // and base-parallel force loops.
+  v.push_back({"bdna", "Perfect", R"(
+proc main() {
+  int n; n = $N$;
+  real pos[$N$];
+  real frc[$N$];
+  real acc[$N$];
+  for i = 0 to n - 1 { pos[i] = noise(i) * 10.0; }
+  for i = 0 to n - 1 {
+    real f; f = 0.0;
+    for j = 0 to 31 { f = f + noise(i * 32 + j) - 0.5; }
+    frc[i] = f;
+  }
+  acc[0] = frc[0];
+  for i = 1 to n - 1 { acc[i] = acc[i-1] + frc[i]; }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + acc[i] * 0.001 + pos[i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // dyfesm: finite-element assembly — minor run-time control-flow gain:
+  // an element-update loop writes a shared buffer only when a run-time
+  // damping flag is on, with a shifted read (Figure 1(b) family).
+  v.push_back({"dyfesm", "Perfect", R"(
+proc main() {
+  int n; n = $N$;
+  int damp; damp = inoise(31, 1);
+  real disp[$N$];
+  real vel[$N$];
+  real stiff[$N$, 16];
+  for i = 0 to n - 1 { disp[i] = noise(i); vel[i] = noise(i + 555) * 0.1; }
+  for i = 0 to n - 1 {
+    real k; k = 0.0;
+    for j = 0 to 15 {
+      stiff[i, j] = noise(i * 16 + j) * 0.5;
+      k = k + stiff[i, j];
+    }
+    disp[i] = disp[i] + k * 0.001;
+  }
+  for i = 1 to n - 1 {
+    if (damp > 0) {
+      disp[i] = disp[i] * 0.99;
+    }
+    vel[i] = vel[i] + disp[i - 1] * 0.01;
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + vel[i]; }
+  sink(chk);
+}
+)", 64, GainKind::RuntimeTest, false});
+
+  // flo52: transonic-flow sweeps, all base parallel, plus one
+  // convergence recurrence.
+  v.push_back({"flo52", "Perfect", R"(
+proc main() {
+  int n; n = $N$;
+  real wgrid[$N$, $N$];
+  real res[$N$, $N$];
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 { wgrid[i, j] = noise(i * n + j); }
+  }
+  for i = 1 to n - 2 {
+    for j = 1 to n - 2 {
+      res[i, j] = wgrid[i+1, j] - 2.0 * wgrid[i, j] + wgrid[i-1, j];
+    }
+  }
+  real conv[$N$];
+  conv[0] = 1.0;
+  for i = 1 to n - 1 { conv[i] = conv[i-1] * 0.95 + res[i, 1] * 0.05; }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + conv[i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // mdg: water-molecule dynamics — the paper reports large predicated
+  // gains. A dominant outer loop fills a neighbor scratch prefix of
+  // run-time length d and reads fixed positions: the exposed remainder is
+  // provably disjoint from the writes, so predicated analysis privatizes
+  // with copy-in; base SUIF stays sequential.
+  v.push_back({"mdg", "Perfect", R"(
+proc main() {
+  int n; n = $N$;
+  int d; d = inoise(23, 1) + 24;
+  real out[$N$];
+  real nbr[64];
+  for q = 0 to 63 { nbr[q] = noise(q) * 0.5; }
+  for i = 0 to n - 1 {
+    for j = 0 to d - 1 { nbr[j] = noise(i * 64 + j); }
+    real e; e = nbr[0] * 0.5 + nbr[1] + nbr[40] * 0.25;
+    for k = 0 to 95 { e = e + noise(i * 96 + k) * 0.001; }
+    out[i] = e;
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + out[i]; }
+  sink(chk);
+}
+)", 512, GainKind::CompileTime, true});
+
+  // ocean: 2-D ocean simulation — minor extraction gain: a shift loop
+  // with symbolic offset parallelized by a distance run-time test.
+  v.push_back({"ocean", "Perfect", R"(
+proc main() {
+  int n; n = $N$;
+  int off; off = inoise(37, 1) + n;
+  real psi[$N$ * 3];
+  real zeta[$N$];
+  for j = 0 to 3 * n - 1 { psi[j] = noise(j); }
+  for i = n to 2 * n - 1 {
+    psi[i] = psi[i - off] * 0.9 + 0.01;
+  }
+  for i = 0 to n - 1 { zeta[i] = psi[i + n] * 2.0; }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + zeta[i]; }
+  sink(chk);
+}
+)", 64, GainKind::RuntimeTest, false});
+
+  // qcd: lattice gauge updates through an indirection table — uncaught
+  // ELPD-parallel remainder plus base-parallel link loops.
+  v.push_back({"qcd", "Perfect", R"(
+proc main() {
+  int n; n = $N$;
+  int site[$N$];
+  real link[$N$];
+  real stap[$N$];
+  for i = 0 to n - 1 { site[i] = (i * 3 + 1) % n; }
+  for i = 0 to n - 1 { link[i] = noise(i) + 1.0; }
+  for i = 0 to n - 1 { stap[site[i]] = link[i] * 0.5; }
+  for i = 0 to n - 1 { link[i] = link[i] * 0.9 + stap[i] * 0.1; }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + link[i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // spec77: spectral weather code — base-parallel transforms and a
+  // latitude recurrence.
+  v.push_back({"spec77", "Perfect", R"(
+proc main() {
+  int n; n = $N$;
+  real sp[$N$, 4];
+  real gr[$N$];
+  for i = 0 to n - 1 {
+    for m = 0 to 3 { sp[i, m] = noise(i * 4 + m); }
+  }
+  for i = 0 to n - 1 {
+    real s; s = 0.0;
+    for m = 0 to 3 { s = s + sp[i, m] * (m + 1); }
+    gr[i] = s;
+  }
+  for i = 1 to n - 1 { gr[i] = gr[i] + gr[i-1] * 0.5; }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + gr[i] * 0.01; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // track: target tracking — hypothesis scatter through an index table
+  // (uncaught remainder) and base-parallel smoothing.
+  v.push_back({"track", "Perfect", R"(
+proc main() {
+  int n; n = $N$;
+  int hyp[$N$];
+  real trk[$N$];
+  real obs[$N$];
+  for i = 0 to n - 1 { hyp[i] = (i * 11 + 7) % n; }
+  for i = 0 to n - 1 { obs[i] = noise(i); }
+  for i = 0 to n - 1 { trk[hyp[i]] = obs[i] * 3.0; }
+  for i = 0 to n - 1 { obs[i] = obs[i] * 0.5 + trk[i] * 0.5; }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + obs[i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // trfd: two-electron integral transformation — the paper's classic
+  // privatization case: a dominant loop writes a run-time-length prefix
+  // of a scratch array and reads the whole array; predicated analysis
+  // proves the exposed suffix is never written and privatizes with
+  // copy-in. Base SUIF stays sequential.
+  v.push_back({"trfd", "Perfect", R"(
+proc main() {
+  int n; n = $N$;
+  int m; m = inoise(29, 1) + 40;
+  real xrsiq[64];
+  real out[$N$];
+  for q = 0 to 63 { xrsiq[q] = noise(q) * 0.25; }
+  for i = 0 to n - 1 {
+    for j = 0 to m - 1 { xrsiq[j] = noise(i * 64 + j) * 0.5; }
+    real s; s = 0.0;
+    for j = 0 to 63 { s = s + xrsiq[j]; }
+    for k = 0 to 63 { s = s + noise(i * 64 + k) * 0.01; }
+    out[i] = s;
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + out[i]; }
+  sink(chk);
+}
+)", 512, GainKind::CompileTime, true});
+
+  // erlebacher (the "one additional program"): ADI tridiagonal solver —
+  // base-parallel sweeps in the parallel dimensions and sequential
+  // forward/backward substitution in the pivot dimension.
+  v.push_back({"erlebacher", "other", R"(
+proc main() {
+  int n; n = $N$;
+  real rhs[$N$, $N$];
+  real dgl[$N$];
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 { rhs[i, j] = noise(i * n + j); }
+  }
+  for j = 0 to n - 1 { dgl[j] = 1.0 + noise(j) * 0.1; }
+  for j = 0 to n - 1 {
+    for i = 1 to n - 1 {
+      rhs[i, j] = rhs[i, j] - rhs[i-1, j] * 0.3 / dgl[j];
+    }
+  }
+  for j = 0 to n - 1 {
+    rhs[n - 1, j] = rhs[n - 1, j] / dgl[j];
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + rhs[i, i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  return v;
+}
+
+}  // namespace padfa::corpus_detail

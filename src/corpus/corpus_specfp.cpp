@@ -1,0 +1,277 @@
+// Specfp95 stand-ins. Each program distills the loop patterns the paper's
+// evaluation exercises in the corresponding benchmark; see corpus.h.
+#include "corpus/corpus.h"
+
+namespace padfa::corpus_detail {
+
+std::vector<CorpusEntry> specfpPrograms() {
+  std::vector<CorpusEntry> v;
+
+  // tomcatv: mesh-generation style 2-D sweeps (doall), a scratch row
+  // buffer (base privatization), and a genuine line recurrence.
+  v.push_back({"tomcatv", "Specfp95", R"(
+proc main() {
+  int n; n = $N$;
+  real x[$N$, $N$];
+  real y[$N$, $N$];
+  real rx[$N$, $N$];
+  real row[$N$];
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 {
+      x[i, j] = noise(i * n + j);
+      y[i, j] = noise(i * n + j + 1000000);
+    }
+  }
+  for i = 1 to n - 2 {
+    for j = 1 to n - 2 {
+      rx[i, j] = (x[i-1, j] + x[i+1, j] + x[i, j-1] + x[i, j+1]) * 0.25
+               - y[i, j] * 0.125;
+    }
+  }
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 { row[j] = rx[i, j] * 0.5 + x[i, j]; }
+    real s; s = 0.0;
+    for j = 0 to n - 1 { s = s + row[j]; }
+    y[i, 0] = s;
+  }
+  for j = 0 to n - 1 {
+    for i = 1 to n - 1 {
+      x[i, j] = x[i-1, j] * 0.25 + x[i, j];
+    }
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + x[i, i] + y[i, 0]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // swim: shallow-water stencils, all doall, plus boundary-wrap loops.
+  v.push_back({"swim", "Specfp95", R"(
+proc main() {
+  int n; n = $N$;
+  real u[$N$, $N$];
+  real vv[$N$, $N$];
+  real p[$N$, $N$];
+  real unew[$N$, $N$];
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 {
+      u[i, j] = noise(i * n + j);
+      vv[i, j] = noise(i * n + j + 7);
+      p[i, j] = noise(i * n + j + 13) + 1.0;
+    }
+  }
+  for i = 1 to n - 2 {
+    for j = 1 to n - 2 {
+      unew[i, j] = u[i, j]
+        + 0.1 * (p[i+1, j] - p[i-1, j])
+        + 0.05 * (vv[i, j+1] + vv[i, j-1]);
+    }
+  }
+  for j = 0 to n - 1 {
+    unew[0, j] = unew[n - 2, j];
+    unew[n - 1, j] = unew[1, j];
+  }
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 { u[i, j] = unew[i, j] * 0.99; }
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + u[i, i % n]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // su2cor: the paper-style win — a dominant outer loop whose scratch
+  // array is conditionally defined and conditionally used under the SAME
+  // run-time flag (Figure 1(a)). Predicated analysis proves coverage at
+  // compile time and privatizes; base SUIF stays sequential.
+  v.push_back({"su2cor", "Specfp95", R"(
+proc main() {
+  int n; n = $N$;
+  int w; w = 96;
+  int flag; flag = inoise(7, 2);
+  real out[$N$];
+  real help[96];
+  for i = 0 to n - 1 {
+    if (flag > 0) {
+      for j = 0 to w - 1 { help[j] = noise(i * 96 + j) * 0.5 + 0.1; }
+    }
+    if (flag > 0) {
+      real s; s = 0.0;
+      for j = 0 to w - 1 { s = s + help[j] * help[j] + sqrt(help[j] + 1.0); }
+      out[i] = s;
+    } else {
+      real s2; s2 = 0.0;
+      for j = 0 to w - 1 { s2 = s2 + noise(i * 96 + j); }
+      out[i] = s2;
+    }
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + out[i]; }
+  sink(chk);
+}
+)", 512, GainKind::CompileTime, true});
+
+  // hydro2d: dominant outer loop needing predicate EMBEDDING
+  // (Figure 1(c) family): the write of buf[i] is guarded by d >= 5 and
+  // the shifted read buf[i-1] by d < 3 — affinely contradictory but not
+  // structural complements. Only embedding the guard constraints into the
+  // dependence system proves independence at compile time; without
+  // embedding the analysis can merely derive a run-time test.
+  v.push_back({"hydro2d", "Specfp95", R"(
+proc main() {
+  int n; n = $N$;
+  int d; d = inoise(11, 10);
+  real buf[$N$ + 64];
+  real out[$N$];
+  for q = 0 to n + 63 { buf[q] = noise(q) + 0.25; }
+  for i = 1 to n - 1 {
+    if (d >= 5) {
+      buf[i] = noise(i) * 0.5;
+    }
+    if (d < 3) {
+      out[i] = buf[i - 1] * 2.0;
+    }
+    real acc; acc = 0.0;
+    for k = 0 to 63 { acc = acc + noise(i * 64 + k) * 0.001; }
+    out[i] = out[i] + acc;
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + out[i]; }
+  sink(chk);
+}
+)", 512, GainKind::CompileTime, true});
+
+  // mgrid: multigrid smoothing sweeps (doall) plus one true recurrence.
+  v.push_back({"mgrid", "Specfp95", R"(
+proc smooth(real dst[n, n], real src[n, n], int n) {
+  for i = 1 to n - 2 {
+    for j = 1 to n - 2 {
+      dst[i, j] = (src[i-1, j] + src[i+1, j] + src[i, j-1] + src[i, j+1]
+                   + src[i, j]) * 0.2;
+    }
+  }
+}
+proc main() {
+  int n; n = $N$;
+  real a[$N$, $N$];
+  real b[$N$, $N$];
+  for i = 0 to n - 1 {
+    for j = 0 to n - 1 { a[i, j] = noise(i * n + j); }
+  }
+  smooth(b, a, n);
+  smooth(a, b, n);
+  for i = 1 to n - 1 {
+    a[i, 0] = a[i-1, 0] * 0.5 + a[i, 0];
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + a[i, 0] + b[i, i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // applu: SSOR-style sweeps; includes an index-array scatter that only a
+  // run-time (inspector) test can disambiguate — part of the "remaining
+  // inherently parallel" set that predicated analysis does NOT recover.
+  v.push_back({"applu", "Specfp95", R"(
+proc main() {
+  int n; n = $N$;
+  int perm[$N$];
+  real a[$N$];
+  real b[$N$];
+  for q = 0 to n - 1 { perm[q] = (q * 7 + 3) % n; }
+  for i = 0 to n - 1 { a[i] = noise(i); }
+  for i = 0 to n - 1 { b[perm[i]] = a[i] * 2.0 + 1.0; }
+  for i = 1 to n - 1 { a[i] = a[i-1] * 0.3 + b[i]; }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + b[i] + a[i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // turb3d: doall transforms plus an I/O (sink) loop that is not a
+  // parallelization candidate.
+  v.push_back({"turb3d", "Specfp95", R"(
+proc main() {
+  int n; n = $N$;
+  real u[$N$, 8];
+  for i = 0 to n - 1 {
+    for c = 0 to 7 { u[i, c] = noise(i * 8 + c); }
+  }
+  for i = 0 to n - 1 {
+    real e; e = 0.0;
+    for c = 0 to 7 { e = e + u[i, c] * u[i, c]; }
+    for c = 0 to 7 { u[i, c] = u[i, c] / (sqrt(e) + 1.0); }
+  }
+  for i = 0 to n - 1 { sink(u[i, 0]); }
+}
+)", 64, GainKind::None, false});
+
+  // apsi: the paper-style run-time control-flow test (Figure 1(b)): a
+  // write guarded by an input flag plus a shifted read. The dependence
+  // exists only when the flag is set; on the reference input it is not,
+  // so the two-version loop runs in parallel. Dominant coverage.
+  v.push_back({"apsi", "Specfp95", R"(
+proc main() {
+  int n; n = $N$;
+  int t; t = inoise(13, 1);
+  real buf[$N$];
+  real out[$N$];
+  for j = 0 to n - 1 { buf[j] = noise(j) + 0.5; }
+  for i = 1 to n - 1 {
+    if (t > 0) {
+      buf[i] = noise(i) * 2.0;
+    }
+    real acc; acc = buf[i - 1] * 0.5;
+    for k = 0 to 127 { acc = acc + noise(i * 128 + k) * 0.01; }
+    out[i] = acc;
+  }
+  real chk; chk = 0.0;
+  for i = 1 to n - 1 { chk = chk + out[i]; }
+  sink(chk);
+}
+)", 512, GainKind::RuntimeTest, true});
+
+  // fpppp: mostly sequential two-electron-integral style recurrences —
+  // little parallelism for anyone, matching the paper's hard cases.
+  v.push_back({"fpppp", "Specfp95", R"(
+proc main() {
+  int n; n = $N$;
+  real f[$N$];
+  real g[$N$];
+  f[0] = 1.0;
+  g[0] = 0.5;
+  for i = 1 to n - 1 { f[i] = f[i-1] * 0.9 + noise(i); }
+  for i = 1 to n - 1 { g[i] = g[i-1] + f[i] * 0.1; }
+  for i = 0 to n - 1 { f[i] = f[i] * 1.5; }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + f[i] + g[i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // wave5: minor predicated gain — a low-coverage loop with a symbolic
+  // dependence distance, parallelized by an extraction-derived run-time
+  // test (Figure 1(d) family). Outer loops are already base-parallel.
+  v.push_back({"wave5", "Specfp95", R"(
+proc main() {
+  int n; n = $N$;
+  int d; d = inoise(17, 1) + n;
+  real x[$N$ * 3];
+  real p[$N$, 4];
+  for j = 0 to 3 * n - 1 { x[j] = noise(j); }
+  for i = n to 2 * n - 1 {
+    x[i] = x[i - d] * 0.5 + 1.0;
+  }
+  for i = 0 to n - 1 {
+    for c = 0 to 3 { p[i, c] = x[i + c] * 0.25; }
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + p[i, 1] + x[i]; }
+  sink(chk);
+}
+)", 64, GainKind::RuntimeTest, false});
+
+  return v;
+}
+
+}  // namespace padfa::corpus_detail

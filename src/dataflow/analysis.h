@@ -1,0 +1,49 @@
+// The (predicated) interprocedural array data-flow analysis.
+//
+// A single implementation covers both systems evaluated in the paper:
+//  * the SUIF baseline = AnalysisConfig::baseline() (no predicates);
+//  * predicated array data-flow analysis = AnalysisConfig::predicated().
+// Feature flags also enable the ablations (embedding only, extraction
+// only, no run-time tests) benchmarked in bench/.
+#pragma once
+
+#include <memory>
+
+#include "dataflow/loop_plan.h"
+#include "dataflow/summary.h"
+#include "lang/ast.h"
+
+namespace padfa {
+
+struct AnalysisConfig {
+  /// Attach branch predicates to data-flow values (Section 4).
+  bool predicates = true;
+  /// Predicate embedding: absorb affine guard constraints into array
+  /// section systems (Section 5.1).
+  bool embedding = true;
+  /// Predicate extraction: derive breaking conditions by projecting
+  /// dependence systems onto symbolic parameters (Section 5.2).
+  bool extraction = true;
+  /// Emit two-version loops guarded by run-time tests (Section 5.3).
+  bool runtime_tests = true;
+  /// Allow privatization of arrays with upward-exposed reads by
+  /// initializing private copies from shared memory. The base SUIF system
+  /// is conservative here; the predicated system reasons about exactly
+  /// which elements stay exposed, making copy-in privatization safe.
+  bool copy_in_privatization = true;
+
+  static AnalysisConfig baseline() {
+    return {false, false, false, false, false};
+  }
+  static AnalysisConfig predicated() { return {true, true, true, true, true}; }
+  /// Predicates for compile-time analysis only — models the prior
+  /// guarded-analysis work the paper compares against (Gu/Li/Lee).
+  static AnalysisConfig compileTimeOnly() {
+    return {true, true, true, false, true};
+  }
+};
+
+/// Run the analysis over an analyzed program (Sema must have succeeded).
+AnalysisResult analyzeProgram(Program& program, const AnalysisConfig& config);
+
+}  // namespace padfa

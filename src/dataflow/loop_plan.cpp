@@ -1,0 +1,15 @@
+#include "dataflow/loop_plan.h"
+
+namespace padfa {
+
+std::string_view loopStatusName(LoopStatus s) {
+  switch (s) {
+    case LoopStatus::Parallel: return "parallel";
+    case LoopStatus::RuntimeTest: return "runtime-test";
+    case LoopStatus::Sequential: return "sequential";
+    case LoopStatus::NotCandidate: return "not-candidate";
+  }
+  return "?";
+}
+
+}  // namespace padfa

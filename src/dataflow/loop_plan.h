@@ -1,0 +1,77 @@
+// Parallelization decisions per loop — the analysis output consumed by
+// the interpreter/runtime and by the evaluation harness.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "predicate/pred.h"
+
+namespace padfa {
+
+enum class LoopStatus : uint8_t {
+  Parallel,      // provably parallel at compile time
+  RuntimeTest,   // two-version loop guarded by a derived run-time test
+  Sequential,    // dependence (or un-analyzable) — stays sequential
+  NotCandidate,  // I/O (sink), loop-variant bounds, non-positive step
+};
+
+std::string_view loopStatusName(LoopStatus s);
+
+/// How an array must be handled in the parallel version of a loop.
+struct PrivatizedArray {
+  const VarDecl* array = nullptr;
+  bool copy_in = false;   // exposed reads exist: initialize private copies
+  bool copy_out = false;  // live after loop: last iteration writes back
+};
+
+enum class ReductionOp : uint8_t { Sum, Prod, Min, Max };
+
+struct ScalarReduction {
+  const VarDecl* scalar = nullptr;
+  ReductionOp op = ReductionOp::Sum;
+};
+
+struct LoopPlan {
+  const ForStmt* loop = nullptr;
+  const ProcDecl* proc = nullptr;
+  LoopStatus status = LoopStatus::Sequential;
+
+  /// Run-time independence/privatization test (status == RuntimeTest).
+  /// True atoms evaluate against scalar values at loop entry.
+  Pred runtime_test;
+
+  /// Arrays privatized in the parallel version.
+  std::vector<PrivatizedArray> privatized;
+  /// Scalars privatized in the parallel version (loop index excluded;
+  /// each entry may also need last-value copy-out).
+  std::vector<const VarDecl*> private_scalars;
+  std::vector<const VarDecl*> copy_out_scalars;
+  std::vector<ScalarReduction> reductions;
+
+  /// Human-readable reason when Sequential / NotCandidate.
+  std::string reason;
+
+  // Attribution flags for the evaluation's per-loop categories.
+  bool used_predicates = false;   // guards were needed to pass a test
+  bool used_embedding = false;    // guard constraints embedded in sections
+  bool used_extraction = false;   // breaking condition from FM projection
+  bool used_reshape = false;      // interprocedural reshape predicate
+  bool priv_used = false;         // privatization was required
+};
+
+/// Results of analyzing a whole program.
+struct AnalysisResult {
+  std::map<const ForStmt*, LoopPlan> plans;
+  /// Wall-clock cost of the analysis itself (Experiment E6).
+  double analysis_seconds = 0;
+
+  const LoopPlan* planFor(const ForStmt* loop) const {
+    auto it = plans.find(loop);
+    return it == plans.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace padfa

@@ -1,0 +1,132 @@
+#include "dataflow/summary.h"
+
+namespace padfa {
+
+void appendGuarded(GuardedList& dst, const GuardedList& o) {
+  dst.insert(dst.end(), o.begin(), o.end());
+}
+
+void guardList(GuardedList& list, const Pred& p) {
+  if (p.isTrue()) return;
+  for (auto& g : list) g.guard = g.guard && p;
+  // Pieces guarded by `false` can never contribute.
+  std::erase_if(list, [](const GuardedSection& g) { return g.guard.isFalse(); });
+}
+
+void embedGuards(GuardedList& list, VarTable& vt) {
+  for (auto& g : list) {
+    if (g.guard.isTrue()) continue;
+    pb::System aff = g.guard.affineUpperBound(vt);
+    if (aff.trivial()) continue;
+    g.section.constrain(aff);
+  }
+  std::erase_if(list,
+                [](const GuardedSection& g) { return g.section.isEmpty(); });
+}
+
+pb::Set unguardedUnion(const GuardedList& list) {
+  pb::Set out;
+  for (const auto& g : list) out.unionWith(g.section);
+  return out;
+}
+
+GuardedList predSubtract(const GuardedList& from, const GuardedList& cover,
+                         VarTable& vt) {
+  // The paper's PredSubtract: subtracting a must-write guarded by p from
+  // an exposed read guarded by q yields
+  //   (q => p)        : (q,      e − m)
+  //   otherwise split : (q ∧ p,  e − m)  ∪  (q ∧ ¬p, e)
+  // Splitting is capped; over the cap the piece is kept whole (sound: E
+  // only gets bigger).
+  constexpr size_t kMaxSplit = 32;
+  GuardedList cur = from;
+  for (const auto& c : cover) {
+    GuardedList next;
+    for (auto& f : cur) {
+      if (f.section.isEmpty()) continue;
+      if (f.guard.implies(c.guard, vt)) {
+        pb::Set rem = f.section.subtract(c.section);
+        if (!rem.isEmpty()) next.push_back({f.guard, std::move(rem)});
+        continue;
+      }
+      Pred both = f.guard && c.guard;
+      if (both.isFalse() || cur.size() + next.size() >= kMaxSplit) {
+        next.push_back(std::move(f));
+        continue;
+      }
+      pb::Set rem = f.section.subtract(c.section);
+      if (!rem.isEmpty()) next.push_back({both, std::move(rem)});
+      Pred other = f.guard && !c.guard;
+      if (!other.isFalse()) next.push_back({std::move(other), f.section});
+    }
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+namespace {
+
+void killSections(GuardedList& list, const std::vector<const VarDecl*>& written,
+                  VarTable& vt, bool is_must) {
+  // VarIds of the written scalars that the table already knows about
+  // (unknown ones cannot appear in any section).
+  std::vector<pb::VarId> ids;
+  for (const VarDecl* d : written)
+    if (vt.hasId(d)) ids.push_back(vt.idFor(d));
+  if (ids.empty() && written.empty()) return;
+
+  for (auto& g : list) {
+    g.guard = g.guard.weakenAtoms(written, /*toTrue=*/!is_must);
+    if (ids.empty()) continue;
+    bool mentions = false;
+    for (const auto& piece : g.section.pieces()) {
+      for (pb::VarId v : piece.usedVars()) {
+        for (pb::VarId k : ids)
+          if (v == k) mentions = true;
+      }
+    }
+    if (!mentions) continue;
+    if (is_must) {
+      // Under-approximate: drop the piece entirely.
+      g.section = pb::Set::empty();
+    } else {
+      // Over-approximate: existentially project the stale scalars away.
+      g.section.projectOnto([&ids](pb::VarId v) {
+        for (pb::VarId k : ids)
+          if (v == k) return false;
+        return true;
+      });
+    }
+  }
+  std::erase_if(list, [](const GuardedSection& g) {
+    return g.guard.isFalse() || g.section.isEmpty();
+  });
+}
+
+}  // namespace
+
+void killScalarsMay(GuardedList& list,
+                    const std::vector<const VarDecl*>& written, VarTable& vt) {
+  killSections(list, written, vt, /*is_must=*/false);
+}
+
+void killScalarsMust(GuardedList& list,
+                     const std::vector<const VarDecl*>& written,
+                     VarTable& vt) {
+  killSections(list, written, vt, /*is_must=*/true);
+}
+
+std::string guardedListStr(const GuardedList& list, const VarTable& vt,
+                           const Interner& interner) {
+  if (list.empty()) return "(empty)";
+  std::string out;
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (i) out += " ; ";
+    if (!list[i].guard.isTrue())
+      out += "[" + list[i].guard.str(interner) + "] ";
+    out += list[i].section.str(vt.namer());
+  }
+  return out;
+}
+
+}  // namespace padfa

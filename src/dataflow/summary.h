@@ -1,0 +1,111 @@
+// Data-flow values of the (predicated) array data-flow analysis.
+//
+// For every program region and every array, the analysis maintains four
+// lists of guarded array sections, mirroring the SUIF framework's
+// {R, W, MW, E} components with the paper's predicate extension:
+//
+//   reads       R  — may-read sections        (over-approximate)
+//   writes      W  — may-write sections       (over-approximate)
+//   mustWrites  MW — must-write sections      (under-approximate)
+//   exposed     E  — upward-exposed may-reads (over-approximate)
+//
+// Each entry is a GuardedSection ⟨p, S⟩: "accesses described by S occur
+// only when predicate p holds" (for may components) / "if p holds, all of
+// S is written" (for MW). The baseline (non-predicated) configuration
+// simply keeps every guard at `true`.
+//
+// Sections are pb::Sets over the variable space of a VarTable: subscript
+// dimension variables @d0..@d3, the indices of still-open enclosing
+// loops, and symbolic scalar parameters.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "predicate/pred.h"
+#include "presburger/set.h"
+#include "symbolic/vartable.h"
+
+namespace padfa {
+
+struct GuardedSection {
+  Pred guard;
+  pb::Set section;
+};
+
+using GuardedList = std::vector<GuardedSection>;
+
+/// Per-scalar effects of a region (the scalar half of the data-flow
+/// value; sections are unnecessary for scalars).
+struct ScalarEffect {
+  bool may_write = false;
+  bool must_write = false;
+  bool exposed_read = false;  // read before any must-write in the region
+  bool any_read = false;
+};
+
+/// Summary of one array's accesses within a region.
+struct ArraySummary {
+  const VarDecl* array = nullptr;
+  GuardedList reads;
+  GuardedList writes;
+  GuardedList must_writes;
+  GuardedList exposed;
+  /// True when some access had a non-affine subscript: may components were
+  /// widened to whole-array; MW contributions were dropped.
+  bool approximate = false;
+};
+
+/// Full data-flow value for a region.
+struct RegionSummary {
+  std::map<const VarDecl*, ArraySummary> arrays;
+  std::map<const VarDecl*, ScalarEffect> scalars;
+  /// Loops (in this region, any depth) that carry a sink() call.
+  bool has_sink = false;
+
+  ArraySummary& arrayFor(const VarDecl* decl) {
+    auto& s = arrays[decl];
+    s.array = decl;
+    return s;
+  }
+  ScalarEffect& scalarFor(const VarDecl* decl) { return scalars[decl]; }
+};
+
+/// Append o's pieces into dst (set union of guarded lists).
+void appendGuarded(GuardedList& dst, const GuardedList& o);
+
+/// Conjoin `p` onto every guard in the list.
+void guardList(GuardedList& list, const Pred& p);
+
+/// Predicate embedding (Section 5.1): move the affine upper bound of each
+/// guard into the section's constraint system. The residual guard keeps
+/// only what the affine domain could not absorb... conservatively we keep
+/// the full guard (it is sound for the guard to be stronger than needed),
+/// but embedding the constraints is what lets set subtraction cancel
+/// covered regions.
+void embedGuards(GuardedList& list, VarTable& vt);
+
+/// Union of all sections in the list, ignoring guards (a sound
+/// over-approximation for may components).
+pb::Set unguardedUnion(const GuardedList& list);
+
+/// PredSubtract (Section 5.2): subtract from every piece of `from` the
+/// sections of every piece of `cover` whose guard is implied by the
+/// piece's guard. Pieces that become empty are dropped.
+GuardedList predSubtract(const GuardedList& from, const GuardedList& cover,
+                         VarTable& vt);
+
+/// Kill scalar references: `written` scalars' values change, so sections
+/// referencing them are projected (may) or dropped (must), and guards are
+/// weakened to true (may) or false (must).
+void killScalarsMay(GuardedList& list, const std::vector<const VarDecl*>& written,
+                    VarTable& vt);
+void killScalarsMust(GuardedList& list,
+                     const std::vector<const VarDecl*>& written, VarTable& vt);
+
+std::string guardedListStr(const GuardedList& list, const VarTable& vt,
+                           const Interner& interner);
+
+}  // namespace padfa

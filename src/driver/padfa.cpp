@@ -1,0 +1,57 @@
+#include "driver/padfa.h"
+
+namespace padfa {
+
+std::optional<CompiledProgram> compileSource(const std::string& source,
+                                             DiagEngine& diags) {
+  auto program = parseProgram(source, diags);
+  if (!program) return std::nullopt;
+  if (!analyze(*program, diags)) return std::nullopt;
+  CompiledProgram cp;
+  cp.loops = LoopTree::build(*program);
+  cp.base = analyzeProgram(*program, AnalysisConfig::baseline());
+  cp.pred = analyzeProgram(*program, AnalysisConfig::predicated());
+  cp.program = std::move(program);
+  return cp;
+}
+
+std::string_view loopOutcomeName(LoopOutcome o) {
+  switch (o) {
+    case LoopOutcome::BaseParallel: return "base-parallel";
+    case LoopOutcome::PredParallelCT: return "pred-parallel-ct";
+    case LoopOutcome::PredParallelRT: return "pred-parallel-rt";
+    case LoopOutcome::SequentialBoth: return "sequential";
+    case LoopOutcome::NotCandidate: return "not-candidate";
+    case LoopOutcome::NestedInParallel: return "nested-in-parallel";
+  }
+  return "?";
+}
+
+bool nestedInsideParallelized(const CompiledProgram& cp, const ForStmt* loop,
+                              const AnalysisResult& result) {
+  const LoopNode* node = cp.loops.nodeFor(loop);
+  for (const LoopNode* p = node ? node->parent : nullptr; p; p = p->parent) {
+    const LoopPlan* plan = result.planFor(p->loop);
+    if (plan && (plan->status == LoopStatus::Parallel ||
+                 plan->status == LoopStatus::RuntimeTest))
+      return true;
+  }
+  return false;
+}
+
+LoopOutcome classifyLoop(const CompiledProgram& cp, const ForStmt* loop) {
+  const LoopPlan* bp = cp.base.planFor(loop);
+  const LoopPlan* pp = cp.pred.planFor(loop);
+  if (!bp || !pp) return LoopOutcome::NotCandidate;
+  if (bp->status == LoopStatus::NotCandidate)
+    return LoopOutcome::NotCandidate;
+  if (bp->status == LoopStatus::Parallel) return LoopOutcome::BaseParallel;
+  if (pp->status == LoopStatus::Parallel) return LoopOutcome::PredParallelCT;
+  if (pp->status == LoopStatus::RuntimeTest)
+    return LoopOutcome::PredParallelRT;
+  if (nestedInsideParallelized(cp, loop, cp.pred))
+    return LoopOutcome::NestedInParallel;
+  return LoopOutcome::SequentialBoth;
+}
+
+}  // namespace padfa

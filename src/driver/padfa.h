@@ -1,0 +1,64 @@
+// Umbrella header + one-call pipeline: MF source -> parsed & analyzed
+// program -> baseline and predicated parallelization plans -> execution.
+//
+// This is the public API a downstream user of the library starts from;
+// examples/ and bench/ are built entirely on it.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dataflow/analysis.h"
+#include "interp/interp.h"
+#include "ir/region.h"
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "predicate/pred.h"
+#include "runtime/elpd.h"
+#include "support/diagnostics.h"
+#include "support/table.h"
+
+namespace padfa {
+
+/// A fully analyzed program: AST + loop tree + the two analysis results
+/// the paper compares (base SUIF vs predicated array data-flow).
+struct CompiledProgram {
+  std::unique_ptr<Program> program;
+  LoopTree loops;
+  AnalysisResult base;
+  AnalysisResult pred;
+
+  const Interner& interner() const { return program->interner; }
+};
+
+/// Parse + sema + both analyses. Returns nullopt and fills `diags` on
+/// frontend errors.
+std::optional<CompiledProgram> compileSource(const std::string& source,
+                                             DiagEngine& diags);
+
+/// Classification of one loop for the evaluation tables.
+enum class LoopOutcome {
+  BaseParallel,       // base SUIF parallelizes (compile time)
+  PredParallelCT,     // newly parallel under predicated analysis, compile time
+  PredParallelRT,     // newly parallel under a derived run-time test
+  SequentialBoth,     // neither system parallelizes
+  NotCandidate,       // I/O, bad step, loop-variant bounds
+  NestedInParallel,   // inside a loop parallelized by the same system
+};
+
+std::string_view loopOutcomeName(LoopOutcome o);
+
+/// Classify every loop. "Nested" is judged against the *base* plan for
+/// base columns and the predicated plan for predicated columns; here we
+/// report against predicated (the paper's Table 2 convention: newly
+/// parallelized loops exclude loops nested inside other newly
+/// parallelized loops only for granularity/coverage, not counts).
+LoopOutcome classifyLoop(const CompiledProgram& cp, const ForStmt* loop);
+
+/// Is `loop` strictly inside another loop that `result` parallelizes
+/// (status Parallel or RuntimeTest)?
+bool nestedInsideParallelized(const CompiledProgram& cp, const ForStmt* loop,
+                              const AnalysisResult& result);
+
+}  // namespace padfa

@@ -1,0 +1,598 @@
+#include "interp/interp.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <ctime>
+#include <limits>
+#include <mutex>
+
+namespace padfa {
+
+double noiseValue(int64_t x) {
+  // splitmix64 finalizer -> [0, 1).
+  uint64_t z = static_cast<uint64_t>(x) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z = z ^ (z >> 31);
+  return static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+}
+
+int64_t inoiseValue(int64_t x, int64_t m) {
+  if (m <= 0) return 0;
+  return static_cast<int64_t>(noiseValue(x ^ 0x5bf03635) * static_cast<double>(m));
+}
+
+namespace {
+
+struct Value {
+  Type type = Type::Int;
+  int64_t i = 0;
+  double r = 0;
+
+  double asReal() const { return type == Type::Real ? r : static_cast<double>(i); }
+  int64_t asInt() const { return type == Type::Int ? i : static_cast<int64_t>(r); }
+  bool truthy() const { return type == Type::Int ? i != 0 : r != 0; }
+
+  static Value ofInt(int64_t v) { return {Type::Int, v, 0}; }
+  static Value ofReal(double v) { return {Type::Real, 0, v}; }
+};
+
+struct Cell {
+  int64_t i = 0;
+  double r = 0;
+  std::shared_ptr<ArrayStorage> array;
+};
+
+using Frame = std::vector<Cell>;
+
+class Interp {
+ public:
+  Interp(const Program& program, const InterpOptions& opt)
+      : program_(program), opt_(opt) {
+    if (opt_.plans && opt_.num_threads > 1)
+      pool_ = std::make_unique<ThreadPool>(opt_.num_threads);
+  }
+
+  InterpStats run() {
+    const ProcDecl* main = program_.findProc("main");
+    if (!main) throw RuntimeError({}, "program has no 'main' procedure");
+    if (!main->params.empty())
+      throw RuntimeError(main->loc, "'main' must take no parameters");
+    auto t0 = std::chrono::steady_clock::now();
+    Frame frame(main->all_vars.size());
+    execProc(*main, frame);
+    auto t1 = std::chrono::steady_clock::now();
+    stats_.total_seconds = std::chrono::duration<double>(t1 - t0).count();
+    stats_.simulated_seconds =
+        stats_.total_seconds - parallel_wall_ + parallel_simulated_;
+    return std::move(stats_);
+  }
+
+ private:
+  // ------------------------------------------------------- expression --
+
+  Value eval(const Expr& e, Frame& frame) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        return Value::ofInt(static_cast<const IntLitExpr&>(e).value);
+      case ExprKind::RealLit:
+        return Value::ofReal(static_cast<const RealLitExpr&>(e).value);
+      case ExprKind::VarRef: {
+        const auto& v = static_cast<const VarRefExpr&>(e);
+        const Cell& c = frame[v.decl->local_id];
+        return v.decl->elem_type == Type::Int ? Value::ofInt(c.i)
+                                              : Value::ofReal(c.r);
+      }
+      case ExprKind::ArrayRef: {
+        const auto& a = static_cast<const ArrayRefExpr&>(e);
+        ArrayStorage& st = storageOf(a, frame);
+        size_t flat = flatIndex(a, st, frame);
+        if (elpd_active_)
+          opt_.elpd->recordAccess(st.bufferId(), flat, st.size(), false);
+        return st.elem == Type::Int ? Value::ofInt((*st.ints)[flat])
+                                    : Value::ofReal((*st.reals)[flat]);
+      }
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        Value v = eval(*u.operand, frame);
+        if (u.op == UnOp::Not) return Value::ofInt(v.truthy() ? 0 : 1);
+        if (v.type == Type::Int) return Value::ofInt(-v.i);
+        return Value::ofReal(-v.r);
+      }
+      case ExprKind::Binary:
+        return evalBinary(static_cast<const BinaryExpr&>(e), frame);
+      case ExprKind::Intrinsic:
+        return evalIntrinsic(static_cast<const IntrinsicExpr&>(e), frame);
+    }
+    throw RuntimeError(e.loc, "unreachable expression kind");
+  }
+
+  Value evalBinary(const BinaryExpr& b, Frame& frame) {
+    Value l = eval(*b.lhs, frame);
+    // Short-circuit logical operators.
+    if (b.op == BinOp::And) {
+      if (!l.truthy()) return Value::ofInt(0);
+      return Value::ofInt(eval(*b.rhs, frame).truthy() ? 1 : 0);
+    }
+    if (b.op == BinOp::Or) {
+      if (l.truthy()) return Value::ofInt(1);
+      return Value::ofInt(eval(*b.rhs, frame).truthy() ? 1 : 0);
+    }
+    Value r = eval(*b.rhs, frame);
+    bool real_op = l.type == Type::Real || r.type == Type::Real;
+    switch (b.op) {
+      case BinOp::Add:
+        return real_op ? Value::ofReal(l.asReal() + r.asReal())
+                       : Value::ofInt(l.i + r.i);
+      case BinOp::Sub:
+        return real_op ? Value::ofReal(l.asReal() - r.asReal())
+                       : Value::ofInt(l.i - r.i);
+      case BinOp::Mul:
+        return real_op ? Value::ofReal(l.asReal() * r.asReal())
+                       : Value::ofInt(l.i * r.i);
+      case BinOp::Div:
+        if (real_op) return Value::ofReal(l.asReal() / r.asReal());
+        if (r.i == 0) throw RuntimeError(b.loc, "integer division by zero");
+        return Value::ofInt(l.i / r.i);
+      case BinOp::Rem:
+        if (r.i == 0) throw RuntimeError(b.loc, "integer modulo by zero");
+        return Value::ofInt(l.i % r.i);
+      case BinOp::Eq:
+        return Value::ofInt(real_op ? l.asReal() == r.asReal() : l.i == r.i);
+      case BinOp::Ne:
+        return Value::ofInt(real_op ? l.asReal() != r.asReal() : l.i != r.i);
+      case BinOp::Lt:
+        return Value::ofInt(real_op ? l.asReal() < r.asReal() : l.i < r.i);
+      case BinOp::Le:
+        return Value::ofInt(real_op ? l.asReal() <= r.asReal() : l.i <= r.i);
+      case BinOp::Gt:
+        return Value::ofInt(real_op ? l.asReal() > r.asReal() : l.i > r.i);
+      case BinOp::Ge:
+        return Value::ofInt(real_op ? l.asReal() >= r.asReal() : l.i >= r.i);
+      default:
+        throw RuntimeError(b.loc, "unreachable binary op");
+    }
+  }
+
+  Value evalIntrinsic(const IntrinsicExpr& c, Frame& frame) {
+    switch (c.fn) {
+      case Intrinsic::Min:
+      case Intrinsic::Max: {
+        Value a = eval(*c.args[0], frame);
+        Value b = eval(*c.args[1], frame);
+        bool real_op = a.type == Type::Real || b.type == Type::Real;
+        if (real_op) {
+          double x = a.asReal(), y = b.asReal();
+          return Value::ofReal(c.fn == Intrinsic::Min ? std::min(x, y)
+                                                      : std::max(x, y));
+        }
+        return Value::ofInt(c.fn == Intrinsic::Min ? std::min(a.i, b.i)
+                                                   : std::max(a.i, b.i));
+      }
+      case Intrinsic::Abs: {
+        Value a = eval(*c.args[0], frame);
+        if (a.type == Type::Int) return Value::ofInt(a.i < 0 ? -a.i : a.i);
+        return Value::ofReal(std::fabs(a.r));
+      }
+      case Intrinsic::Sqrt:
+        return Value::ofReal(std::sqrt(eval(*c.args[0], frame).asReal()));
+      case Intrinsic::Noise:
+        return Value::ofReal(noiseValue(eval(*c.args[0], frame).asInt()));
+      case Intrinsic::INoise: {
+        int64_t x = eval(*c.args[0], frame).asInt();
+        int64_t m = eval(*c.args[1], frame).asInt();
+        return Value::ofInt(inoiseValue(x, m));
+      }
+    }
+    throw RuntimeError(c.loc, "unreachable intrinsic");
+  }
+
+  ArrayStorage& storageOf(const ArrayRefExpr& a, Frame& frame) {
+    const auto& cell = frame[a.decl->local_id];
+    if (!cell.array)
+      throw RuntimeError(a.loc, "array used before allocation");
+    return *cell.array;
+  }
+
+  size_t flatIndex(const ArrayRefExpr& a, const ArrayStorage& st,
+                   Frame& frame) {
+    size_t flat = 0;
+    for (size_t j = 0; j < a.indices.size(); ++j) {
+      int64_t idx = eval(*a.indices[j], frame).asInt();
+      if (idx < 0 || idx >= st.dims[j])
+        throw RuntimeError(a.loc, "index " + std::to_string(idx) +
+                                      " out of bounds [0, " +
+                                      std::to_string(st.dims[j] - 1) +
+                                      "] in dimension " + std::to_string(j));
+      flat = flat * static_cast<size_t>(st.dims[j]) + static_cast<size_t>(idx);
+    }
+    return flat;
+  }
+
+  // -------------------------------------------------------- statements --
+
+  void execProc(const ProcDecl& proc, Frame& frame) {
+    if (execBlock(*proc.body, frame)) return;  // hit `return`
+  }
+
+  // Returns true if a `return` unwound.
+  bool execBlock(const BlockStmt& block, Frame& frame) {
+    for (const auto& d : block.decls) allocate(*d, frame);
+    for (const auto& s : block.stmts)
+      if (execStmt(*s, frame)) return true;
+    return false;
+  }
+
+  void allocate(const VarDecl& d, Frame& frame) {
+    Cell& cell = frame[d.local_id];
+    if (d.isArray()) {
+      auto st = std::make_shared<ArrayStorage>();
+      st->elem = d.elem_type;
+      for (const auto& dim : d.dims) {
+        int64_t n = eval(*dim, frame).asInt();
+        if (n <= 0)
+          throw RuntimeError(d.loc, "non-positive array dimension");
+        st->dims.push_back(n);
+      }
+      if (d.elem_type == Type::Real)
+        st->reals = std::make_shared<std::vector<double>>(st->size(), 0.0);
+      else
+        st->ints = std::make_shared<std::vector<int64_t>>(st->size(), 0);
+      cell.array = std::move(st);
+    } else {
+      cell.i = 0;
+      cell.r = 0;
+      if (d.init) {
+        Value v = eval(*d.init, frame);
+        if (d.elem_type == Type::Int)
+          cell.i = v.asInt();
+        else
+          cell.r = v.asReal();
+      }
+    }
+  }
+
+  bool execStmt(const Stmt& s, Frame& frame) {
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        const auto& as = static_cast<const AssignStmt&>(s);
+        Value v = eval(*as.value, frame);
+        if (as.target->kind == ExprKind::ArrayRef) {
+          const auto& ref = static_cast<const ArrayRefExpr&>(*as.target);
+          ArrayStorage& st = storageOf(ref, frame);
+          size_t flat = flatIndex(ref, st, frame);
+          if (elpd_active_)
+            opt_.elpd->recordAccess(st.bufferId(), flat, st.size(), true);
+          if (st.elem == Type::Int)
+            (*st.ints)[flat] = v.asInt();
+          else
+            (*st.reals)[flat] = v.asReal();
+        } else {
+          const auto& ref = static_cast<const VarRefExpr&>(*as.target);
+          Cell& c = frame[ref.decl->local_id];
+          if (ref.decl->elem_type == Type::Int)
+            c.i = v.asInt();
+          else
+            c.r = v.asReal();
+        }
+        return false;
+      }
+      case StmtKind::If: {
+        const auto& ifs = static_cast<const IfStmt&>(s);
+        if (eval(*ifs.cond, frame).truthy())
+          return execBlock(*ifs.then_block, frame);
+        if (ifs.else_block) return execBlock(*ifs.else_block, frame);
+        return false;
+      }
+      case StmtKind::For:
+        return execFor(static_cast<const ForStmt&>(s), frame);
+      case StmtKind::Call:
+        return execCall(static_cast<const CallStmt&>(s), frame);
+      case StmtKind::Return:
+        return true;
+      case StmtKind::Block:
+        return execBlock(static_cast<const BlockStmt&>(s), frame);
+    }
+    return false;
+  }
+
+  bool execCall(const CallStmt& s, Frame& frame) {
+    if (s.is_sink) {
+      Value v = eval(*s.args[0], frame);
+      std::lock_guard<std::mutex> lock(sink_mu_);
+      stats_.checksum += v.asReal();
+      ++stats_.sink_count;
+      return false;
+    }
+    const ProcDecl& callee = *s.callee_proc;
+    Frame callee_frame(callee.all_vars.size());
+    // Bind scalar parameters first: array formal dims may reference any
+    // scalar parameter regardless of declaration order.
+    for (size_t i = 0; i < s.args.size(); ++i) {
+      const VarDecl& param = *callee.params[i];
+      if (param.isArray()) continue;
+      Value v = eval(*s.args[i], frame);
+      Cell& cell = callee_frame[param.local_id];
+      if (param.elem_type == Type::Int)
+        cell.i = v.asInt();
+      else
+        cell.r = v.asReal();
+    }
+    for (size_t i = 0; i < s.args.size(); ++i) {
+      const VarDecl& param = *callee.params[i];
+      if (!param.isArray()) continue;
+      const auto& ref = static_cast<const VarRefExpr&>(*s.args[i]);
+      const auto& actual = frame[ref.decl->local_id].array;
+      if (!actual)
+        throw RuntimeError(s.loc, "array argument not allocated");
+      std::vector<int64_t> fdims;
+      size_t want = 1;
+      for (const auto& dim : param.dims) {
+        int64_t n = eval(*dim, callee_frame).asInt();
+        if (n <= 0)
+          throw RuntimeError(s.loc, "non-positive formal array dimension");
+        fdims.push_back(n);
+        want *= static_cast<size_t>(n);
+      }
+      Cell& cell = callee_frame[param.local_id];
+      if (fdims == actual->dims) {
+        cell.array = actual;  // same shape: direct sharing
+      } else {
+        // Fortran-style sequence association: the formal is a reshaped
+        // view over the same buffer.
+        if (want > actual->size())
+          throw RuntimeError(
+              s.loc, "reshaped formal view (" + std::to_string(want) +
+                         " elements) exceeds actual array (" +
+                         std::to_string(actual->size()) + " elements)");
+        auto view = std::make_shared<ArrayStorage>();
+        view->elem = actual->elem;
+        view->dims = std::move(fdims);
+        view->reals = actual->reals;  // shared buffers
+        view->ints = actual->ints;
+        cell.array = std::move(view);
+      }
+    }
+    execProc(callee, callee_frame);
+    return false;
+  }
+
+  bool execFor(const ForStmt& loop, Frame& frame) {
+    int64_t lb = eval(*loop.lower, frame).asInt();
+    int64_t ub = eval(*loop.upper, frame).asInt();
+    int64_t step = loop.step ? eval(*loop.step, frame).asInt() : 1;
+    if (step == 0) throw RuntimeError(loop.loc, "zero loop step");
+
+    const LoopPlan* plan = nullptr;
+    if (opt_.plans && !in_parallel_ && pool_) {
+      plan = opt_.plans->planFor(&loop);
+      if (plan && plan->status != LoopStatus::Parallel &&
+          plan->status != LoopStatus::RuntimeTest)
+        plan = nullptr;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    bool returned = false;
+    uint64_t iters = 0;
+
+    if (plan && plan->status == LoopStatus::RuntimeTest) {
+      ++stats_.runtime_tests_evaluated;
+      stats_.runtime_test_atoms += plan->runtime_test.atomCount();
+      bool pass = plan->runtime_test.evaluate(
+          [&](const Expr& e) { return eval(e, frame).asReal(); });
+      if (pass)
+        ++stats_.runtime_tests_passed;
+      else
+        plan = nullptr;  // fall back to the sequential version
+    }
+
+    if (plan && step > 0 && lb <= ub) {
+      execForParallel(loop, *plan, frame, lb, ub, step);
+      iters = static_cast<uint64_t>((ub - lb) / step + 1);
+      ++stats_.parallel_loops_entered;
+    } else {
+      returned = execForSequential(loop, frame, lb, ub, step, iters);
+    }
+
+    // Profiling is skipped inside parallel regions (stats_ would race);
+    // coverage/granularity numbers come from sequential profiled runs.
+    if (opt_.profile && !in_parallel_) {
+      auto t1 = std::chrono::steady_clock::now();
+      LoopProfile& prof = stats_.profiles[&loop];
+      ++prof.invocations;
+      prof.iterations += iters;
+      prof.seconds += std::chrono::duration<double>(t1 - t0).count();
+    }
+    return returned;
+  }
+
+  bool execForSequential(const ForStmt& loop, Frame& frame, int64_t lb,
+                         int64_t ub, int64_t step, uint64_t& iters) {
+    bool instrument =
+        opt_.elpd && opt_.elpd->isInstrumented(&loop);
+    if (instrument) opt_.elpd->loopEnter(&loop);
+    bool prev_active = elpd_active_;
+    if (opt_.elpd) elpd_active_ = elpd_active_ || instrument;
+    int64_t ordinal = 0;
+    bool returned = false;
+    if (step > 0) {
+      for (int64_t i = lb; i <= ub; i += step, ++ordinal) {
+        if (instrument) opt_.elpd->loopIterStart(&loop, ordinal);
+        frame[loop.index_decl->local_id].i = i;
+        if (execBlock(*loop.body, frame)) {
+          returned = true;
+          break;
+        }
+      }
+    } else {
+      for (int64_t i = lb; i >= ub; i += step, ++ordinal) {
+        if (instrument) opt_.elpd->loopIterStart(&loop, ordinal);
+        frame[loop.index_decl->local_id].i = i;
+        if (execBlock(*loop.body, frame)) {
+          returned = true;
+          break;
+        }
+      }
+    }
+    iters = static_cast<uint64_t>(ordinal);
+    if (instrument) opt_.elpd->loopExit(&loop);
+    elpd_active_ = prev_active;
+    return returned;
+  }
+
+  static double threadCpuSeconds() {
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+
+  void execForParallel(const ForStmt& loop, const LoopPlan& plan,
+                       Frame& frame, int64_t lb, int64_t ub, int64_t step) {
+    auto wall0 = std::chrono::steady_clock::now();
+    unsigned T = pool_->size();
+    auto chunks = splitIterations(lb, ub, step, T);
+    // Identify the last non-empty chunk (owns copy-out).
+    int last_chunk = -1;
+    for (int p = static_cast<int>(T) - 1; p >= 0; --p) {
+      if (chunks[p].first <= chunks[p].second) {
+        last_chunk = p;
+        break;
+      }
+    }
+
+    std::vector<Frame> thread_frames(T);
+    for (unsigned t = 0; t < T; ++t) thread_frames[t] = frame;  // shallow copy
+
+    // Privatized arrays: per-thread storage (copy-in or zero-init).
+    for (const auto& pa : plan.privatized) {
+      const Cell& shared = frame[pa.array->local_id];
+      for (unsigned t = 0; t < T; ++t) {
+        auto priv = std::make_shared<ArrayStorage>();
+        priv->elem = shared.array->elem;
+        priv->dims = shared.array->dims;
+        if (shared.array->elem == Type::Real) {
+          priv->reals = std::make_shared<std::vector<double>>(
+              pa.copy_in ? *shared.array->reals
+                         : std::vector<double>(shared.array->size(), 0.0));
+        } else {
+          priv->ints = std::make_shared<std::vector<int64_t>>(
+              pa.copy_in ? *shared.array->ints
+                         : std::vector<int64_t>(shared.array->size(), 0));
+        }
+        thread_frames[t][pa.array->local_id].array = std::move(priv);
+      }
+    }
+    // Reductions: identity per thread.
+    for (const auto& red : plan.reductions) {
+      for (unsigned t = 0; t < T; ++t) {
+        Cell& c = thread_frames[t][red.scalar->local_id];
+        bool is_int = red.scalar->elem_type == Type::Int;
+        switch (red.op) {
+          case ReductionOp::Sum:
+            c.i = 0; c.r = 0; break;
+          case ReductionOp::Prod:
+            c.i = 1; c.r = 1; break;
+          case ReductionOp::Min:
+            c.i = std::numeric_limits<int64_t>::max();
+            c.r = std::numeric_limits<double>::infinity();
+            break;
+          case ReductionOp::Max:
+            c.i = std::numeric_limits<int64_t>::min();
+            c.r = -std::numeric_limits<double>::infinity();
+            break;
+        }
+        (void)is_int;
+      }
+    }
+
+    auto region0 = std::chrono::steady_clock::now();
+    std::vector<double> busy(T, 0.0);
+    bool prev_in_parallel = in_parallel_;
+    in_parallel_ = true;
+    pool_->runOnAll([&](unsigned t) {
+      double cpu0 = threadCpuSeconds();
+      auto [first, last] = chunks[t];
+      Frame& tf = thread_frames[t];
+      for (int64_t i = first; i <= last; i += step) {
+        tf[loop.index_decl->local_id].i = i;
+        execBlock(*loop.body, tf);
+      }
+      busy[t] = threadCpuSeconds() - cpu0;
+    });
+    in_parallel_ = prev_in_parallel;
+    auto region1 = std::chrono::steady_clock::now();
+
+    // Combine reductions into the shared frame.
+    for (const auto& red : plan.reductions) {
+      Cell& shared = frame[red.scalar->local_id];
+      bool is_int = red.scalar->elem_type == Type::Int;
+      for (unsigned t = 0; t < T; ++t) {
+        const Cell& c = thread_frames[t][red.scalar->local_id];
+        switch (red.op) {
+          case ReductionOp::Sum:
+            if (is_int) shared.i += c.i; else shared.r += c.r;
+            break;
+          case ReductionOp::Prod:
+            if (is_int) shared.i *= c.i; else shared.r *= c.r;
+            break;
+          case ReductionOp::Min:
+            if (is_int) shared.i = std::min(shared.i, c.i);
+            else shared.r = std::min(shared.r, c.r);
+            break;
+          case ReductionOp::Max:
+            if (is_int) shared.i = std::max(shared.i, c.i);
+            else shared.r = std::max(shared.r, c.r);
+            break;
+        }
+      }
+    }
+    // Copy-out: privatized arrays and scalars take the last chunk's values.
+    if (last_chunk >= 0) {
+      Frame& lf = thread_frames[static_cast<unsigned>(last_chunk)];
+      for (const auto& pa : plan.privatized) {
+        if (!pa.copy_out) continue;
+        Cell& shared = frame[pa.array->local_id];
+        const Cell& priv = lf[pa.array->local_id];
+        if (shared.array->elem == Type::Real)
+          *shared.array->reals = *priv.array->reals;
+        else
+          *shared.array->ints = *priv.array->ints;
+      }
+      for (const VarDecl* sc : plan.copy_out_scalars) {
+        frame[sc->local_id] = lf[sc->local_id];
+      }
+    }
+
+    // Simulated P-processor cost: serial prologue/epilogue at wall time,
+    // parallel region at max-over-workers busy time.
+    auto wall1 = std::chrono::steady_clock::now();
+    double wall = std::chrono::duration<double>(wall1 - wall0).count();
+    double region_wall =
+        std::chrono::duration<double>(region1 - region0).count();
+    double max_busy = 0;
+    for (double b : busy) max_busy = std::max(max_busy, b);
+    parallel_wall_ += wall;
+    parallel_simulated_ += (wall - region_wall) + max_busy;
+  }
+
+  const Program& program_;
+  InterpOptions opt_;
+  InterpStats stats_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::mutex sink_mu_;
+  bool in_parallel_ = false;
+  bool elpd_active_ = false;
+  double parallel_wall_ = 0;
+  double parallel_simulated_ = 0;
+};
+
+}  // namespace
+
+InterpStats execute(const Program& program, const InterpOptions& options) {
+  Interp interp(program, options);
+  return interp.run();
+}
+
+}  // namespace padfa

@@ -1,0 +1,102 @@
+// MF interpreter: the execution substrate standing in for SUIF's compiled
+// parallel code.
+//
+// Modes:
+//  * sequential         — reference semantics;
+//  * parallel           — consumes an AnalysisResult: loops planned
+//                         Parallel run across a thread pool (one level of
+//                         parallelism, like SUIF); RuntimeTest loops
+//                         evaluate their predicate at entry and dispatch
+//                         to the parallel or sequential version
+//                         (two-version loops); privatization, reductions
+//                         and last-value copy-out are honored;
+//  * instrumented       — sequential + ELPD shadow marking for a chosen
+//                         set of candidate loops.
+// Per-loop wall-clock profiling (coverage/granularity for Table 3) can be
+// enabled in any mode.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dataflow/loop_plan.h"
+#include "lang/ast.h"
+#include "runtime/elpd.h"
+#include "runtime/thread_pool.h"
+
+namespace padfa {
+
+/// Runtime storage for one array. The element buffer is itself shared so
+/// that a reshaped formal parameter (different dims, same data) is just
+/// another ArrayStorage viewing the same buffer — exactly Fortran's
+/// sequence association, which the analysis's Reshape operation models.
+struct ArrayStorage {
+  Type elem = Type::Real;
+  std::vector<int64_t> dims;
+  std::shared_ptr<std::vector<double>> reals;
+  std::shared_ptr<std::vector<int64_t>> ints;
+
+  size_t size() const {
+    size_t n = 1;
+    for (int64_t d : dims) n *= static_cast<size_t>(d);
+    return n;
+  }
+  /// Stable identity of the underlying buffer (shared across views).
+  const void* bufferId() const {
+    return elem == Type::Real ? static_cast<const void*>(reals.get())
+                              : static_cast<const void*>(ints.get());
+  }
+};
+
+struct RuntimeError : std::runtime_error {
+  RuntimeError(SourceLoc loc, const std::string& msg)
+      : std::runtime_error("runtime error at " + loc.str() + ": " + msg) {}
+};
+
+struct LoopProfile {
+  uint64_t invocations = 0;
+  double seconds = 0;
+  uint64_t iterations = 0;
+};
+
+struct InterpStats {
+  double checksum = 0;            // accumulated by sink()
+  uint64_t sink_count = 0;
+  uint64_t parallel_loops_entered = 0;
+  uint64_t runtime_tests_evaluated = 0;
+  uint64_t runtime_tests_passed = 0;
+  uint64_t runtime_test_atoms = 0;  // total atoms evaluated (test cost)
+  std::map<const ForStmt*, LoopProfile> profiles;
+  double total_seconds = 0;
+
+  /// Simulated P-processor execution time: wall time with each parallel
+  /// region's cost replaced by max-over-workers thread-CPU busy time plus
+  /// the serial privatization/copy overhead. On a machine with >= P free
+  /// cores this converges to wall time; on fewer cores it models the
+  /// paper's multiprocessor (see DESIGN.md).
+  double simulated_seconds = 0;
+};
+
+struct InterpOptions {
+  /// Null: fully sequential. Otherwise loops run parallel per plan.
+  const AnalysisResult* plans = nullptr;
+  unsigned num_threads = 1;
+  /// Non-null: ELPD instrumentation (forces sequential execution).
+  ElpdCollector* elpd = nullptr;
+  /// Record per-loop timing.
+  bool profile = false;
+};
+
+/// Execute `main` of an analyzed program. Throws RuntimeError on runtime
+/// faults (out-of-bounds access, division by zero, missing main).
+InterpStats execute(const Program& program, const InterpOptions& options);
+
+/// Deterministic pseudo-random helpers backing the noise()/inoise()
+/// intrinsics (exposed for tests).
+double noiseValue(int64_t x);
+int64_t inoiseValue(int64_t x, int64_t m);
+
+}  // namespace padfa

@@ -1,0 +1,238 @@
+#include "lang/ast.h"
+
+namespace padfa {
+
+std::string_view typeName(Type t) {
+  return t == Type::Int ? "int" : "real";
+}
+
+bool isComparison(BinOp op) {
+  switch (op) {
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isLogical(BinOp op) { return op == BinOp::And || op == BinOp::Or; }
+
+std::string_view binOpSpelling(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Rem: return "%";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::And: return "&&";
+    case BinOp::Or: return "||";
+  }
+  return "?";
+}
+
+ProcDecl* Program::findProc(std::string_view name) {
+  for (auto& p : procs)
+    if (interner.str(p->name) == name) return p.get();
+  return nullptr;
+}
+
+const ProcDecl* Program::findProc(std::string_view name) const {
+  for (const auto& p : procs)
+    if (interner.str(p->name) == name) return p.get();
+  return nullptr;
+}
+
+namespace {
+
+std::string_view intrinsicName(Intrinsic fn) {
+  switch (fn) {
+    case Intrinsic::Min: return "min";
+    case Intrinsic::Max: return "max";
+    case Intrinsic::Abs: return "abs";
+    case Intrinsic::Sqrt: return "sqrt";
+    case Intrinsic::Noise: return "noise";
+    case Intrinsic::INoise: return "inoise";
+  }
+  return "?";
+}
+
+void render(const Expr& e, const Interner& in, std::string& out) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      out += std::to_string(static_cast<const IntLitExpr&>(e).value);
+      break;
+    case ExprKind::RealLit: {
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%g", static_cast<const RealLitExpr&>(e).value);
+      out += buf;
+      break;
+    }
+    case ExprKind::VarRef:
+      out += in.str(static_cast<const VarRefExpr&>(e).name);
+      break;
+    case ExprKind::ArrayRef: {
+      const auto& a = static_cast<const ArrayRefExpr&>(e);
+      out += in.str(a.name);
+      out += '[';
+      for (size_t i = 0; i < a.indices.size(); ++i) {
+        if (i) out += ", ";
+        render(*a.indices[i], in, out);
+      }
+      out += ']';
+      break;
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      out += (u.op == UnOp::Neg) ? "-" : "!";
+      out += '(';
+      render(*u.operand, in, out);
+      out += ')';
+      break;
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      out += '(';
+      render(*b.lhs, in, out);
+      out += ' ';
+      out += binOpSpelling(b.op);
+      out += ' ';
+      render(*b.rhs, in, out);
+      out += ')';
+      break;
+    }
+    case ExprKind::Intrinsic: {
+      const auto& c = static_cast<const IntrinsicExpr&>(e);
+      out += intrinsicName(c.fn);
+      out += '(';
+      for (size_t i = 0; i < c.args.size(); ++i) {
+        if (i) out += ", ";
+        render(*c.args[i], in, out);
+      }
+      out += ')';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string exprToString(const Expr& e, const Interner& interner) {
+  std::string out;
+  render(e, interner, out);
+  return out;
+}
+
+ExprPtr cloneExprSubst(
+    const Expr& e,
+    const std::function<const Expr*(const VarDecl*)>& subst) {
+  switch (e.kind) {
+    case ExprKind::IntLit: {
+      auto c = std::make_unique<IntLitExpr>(
+          static_cast<const IntLitExpr&>(e).value);
+      c->loc = e.loc;
+      c->type = e.type;
+      return c;
+    }
+    case ExprKind::RealLit: {
+      auto c = std::make_unique<RealLitExpr>(
+          static_cast<const RealLitExpr&>(e).value);
+      c->loc = e.loc;
+      c->type = e.type;
+      return c;
+    }
+    case ExprKind::VarRef: {
+      const auto& v = static_cast<const VarRefExpr&>(e);
+      if (subst && v.decl) {
+        if (const Expr* repl = subst(v.decl)) return cloneExprSubst(*repl, subst);
+      }
+      auto c = std::make_unique<VarRefExpr>(v.name);
+      c->decl = v.decl;
+      c->loc = e.loc;
+      c->type = e.type;
+      return c;
+    }
+    case ExprKind::ArrayRef: {
+      const auto& a = static_cast<const ArrayRefExpr&>(e);
+      auto c = std::make_unique<ArrayRefExpr>(a.name);
+      c->decl = a.decl;
+      c->loc = e.loc;
+      c->type = e.type;
+      for (const auto& idx : a.indices)
+        c->indices.push_back(cloneExprSubst(*idx, subst));
+      return c;
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      auto c = std::make_unique<UnaryExpr>(u.op,
+                                           cloneExprSubst(*u.operand, subst));
+      c->loc = e.loc;
+      c->type = e.type;
+      return c;
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      auto c = std::make_unique<BinaryExpr>(b.op,
+                                            cloneExprSubst(*b.lhs, subst),
+                                            cloneExprSubst(*b.rhs, subst));
+      c->loc = e.loc;
+      c->type = e.type;
+      return c;
+    }
+    case ExprKind::Intrinsic: {
+      const auto& i = static_cast<const IntrinsicExpr&>(e);
+      auto c = std::make_unique<IntrinsicExpr>(i.fn);
+      c->loc = e.loc;
+      c->type = e.type;
+      for (const auto& a : i.args)
+        c->args.push_back(cloneExprSubst(*a, subst));
+      return c;
+    }
+  }
+  return nullptr;
+}
+
+ExprPtr cloneExpr(const Expr& e) { return cloneExprSubst(e, nullptr); }
+
+void collectVars(const Expr& e, std::vector<const VarDecl*>& out) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+    case ExprKind::RealLit:
+      break;
+    case ExprKind::VarRef:
+      if (const VarDecl* d = static_cast<const VarRefExpr&>(e).decl)
+        out.push_back(d);
+      break;
+    case ExprKind::ArrayRef: {
+      const auto& a = static_cast<const ArrayRefExpr&>(e);
+      if (a.decl) out.push_back(a.decl);
+      for (const auto& idx : a.indices) collectVars(*idx, out);
+      break;
+    }
+    case ExprKind::Unary:
+      collectVars(*static_cast<const UnaryExpr&>(e).operand, out);
+      break;
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      collectVars(*b.lhs, out);
+      collectVars(*b.rhs, out);
+      break;
+    }
+    case ExprKind::Intrinsic:
+      for (const auto& a : static_cast<const IntrinsicExpr&>(e).args)
+        collectVars(*a, out);
+      break;
+  }
+}
+
+}  // namespace padfa

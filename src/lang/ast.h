@@ -1,0 +1,232 @@
+// Abstract syntax tree for MF programs.
+//
+// Ownership: the Program owns all procedures; procedures own their body
+// blocks; blocks own declarations and statements; statements own nested
+// blocks and expressions. Cross-references installed by Sema (VarRef::decl,
+// CallStmt::callee_proc) are non-owning.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/interner.h"
+#include "support/source_loc.h"
+
+namespace padfa {
+
+enum class Type : uint8_t { Int, Real };
+
+std::string_view typeName(Type t);
+
+// ---------------------------------------------------------------- Expr --
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  RealLit,
+  VarRef,
+  ArrayRef,
+  Unary,
+  Binary,
+  Intrinsic,
+};
+
+enum class UnOp : uint8_t { Neg, Not };
+
+enum class BinOp : uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  And, Or,
+};
+
+bool isComparison(BinOp op);
+bool isLogical(BinOp op);
+std::string_view binOpSpelling(BinOp op);
+
+enum class Intrinsic : uint8_t {
+  Min,    // min(a, b)
+  Max,    // max(a, b)
+  Abs,    // abs(a)
+  Sqrt,   // sqrt(a) -> real
+  Noise,  // noise(i) -> deterministic pseudo-random real in [0,1)
+  INoise, // inoise(i, m) -> deterministic pseudo-random int in [0,m)
+};
+
+struct VarDecl;
+
+struct Expr {
+  ExprKind kind;
+  Type type = Type::Int;  // filled by Sema
+  SourceLoc loc;
+
+  explicit Expr(ExprKind k) : kind(k) {}
+  virtual ~Expr() = default;
+};
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr final : Expr {
+  int64_t value;
+  explicit IntLitExpr(int64_t v) : Expr(ExprKind::IntLit), value(v) {}
+};
+
+struct RealLitExpr final : Expr {
+  double value;
+  explicit RealLitExpr(double v) : Expr(ExprKind::RealLit), value(v) {}
+};
+
+struct VarRefExpr final : Expr {
+  Symbol name;
+  VarDecl* decl = nullptr;  // set by Sema
+  explicit VarRefExpr(Symbol n) : Expr(ExprKind::VarRef), name(n) {}
+};
+
+struct ArrayRefExpr final : Expr {
+  Symbol name;
+  VarDecl* decl = nullptr;  // set by Sema
+  std::vector<ExprPtr> indices;
+  explicit ArrayRefExpr(Symbol n) : Expr(ExprKind::ArrayRef), name(n) {}
+};
+
+struct UnaryExpr final : Expr {
+  UnOp op;
+  ExprPtr operand;
+  UnaryExpr(UnOp o, ExprPtr e)
+      : Expr(ExprKind::Unary), op(o), operand(std::move(e)) {}
+};
+
+struct BinaryExpr final : Expr {
+  BinOp op;
+  ExprPtr lhs, rhs;
+  BinaryExpr(BinOp o, ExprPtr l, ExprPtr r)
+      : Expr(ExprKind::Binary), op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+};
+
+struct IntrinsicExpr final : Expr {
+  Intrinsic fn;
+  std::vector<ExprPtr> args;
+  explicit IntrinsicExpr(Intrinsic f) : Expr(ExprKind::Intrinsic), fn(f) {}
+};
+
+// ---------------------------------------------------------------- Decl --
+
+struct VarDecl {
+  Type elem_type = Type::Int;
+  Symbol name;
+  SourceLoc loc;
+  std::vector<ExprPtr> dims;  // empty => scalar
+  ExprPtr init;               // optional (scalars only)
+  bool is_param = false;
+  bool is_loop_index = false;
+  /// Unique id within the enclosing procedure; assigned by Sema.
+  uint32_t local_id = 0;
+
+  bool isArray() const { return !dims.empty(); }
+  size_t rank() const { return dims.size(); }
+};
+using VarDeclPtr = std::unique_ptr<VarDecl>;
+
+// ---------------------------------------------------------------- Stmt --
+
+enum class StmtKind : uint8_t { Assign, If, For, Call, Return, Block };
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+  explicit Stmt(StmtKind k) : kind(k) {}
+  virtual ~Stmt() = default;
+};
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// A block. Declarations are HOISTED: regardless of where a declaration
+/// appears textually inside the block, it is allocated (and its
+/// initializer evaluated) at block entry, before any statement runs.
+/// Parser, sema, interpreter, and printer all share this rule.
+struct BlockStmt final : Stmt {
+  std::vector<VarDeclPtr> decls;
+  std::vector<StmtPtr> stmts;
+  BlockStmt() : Stmt(StmtKind::Block) {}
+};
+using BlockPtr = std::unique_ptr<BlockStmt>;
+
+struct AssignStmt final : Stmt {
+  ExprPtr target;  // VarRefExpr or ArrayRefExpr
+  ExprPtr value;
+  AssignStmt() : Stmt(StmtKind::Assign) {}
+};
+
+struct IfStmt final : Stmt {
+  ExprPtr cond;
+  BlockPtr then_block;
+  BlockPtr else_block;  // may be null
+  IfStmt() : Stmt(StmtKind::If) {}
+};
+
+struct ForStmt final : Stmt {
+  Symbol index_name;
+  VarDecl* index_decl = nullptr;  // owned by the loop body block (Sema)
+  ExprPtr lower, upper;           // inclusive bounds
+  ExprPtr step;                   // may be null => 1
+  BlockPtr body;
+  /// Stable loop identifier "proc/L<line>", assigned by Sema.
+  std::string loop_id;
+  ForStmt() : Stmt(StmtKind::For) {}
+};
+
+struct ProcDecl;
+
+struct CallStmt final : Stmt {
+  Symbol callee;
+  ProcDecl* callee_proc = nullptr;  // set by Sema (null for builtin `sink`)
+  std::vector<ExprPtr> args;
+  bool is_sink = false;  // builtin checksum sink
+  CallStmt() : Stmt(StmtKind::Call) {}
+};
+
+struct ReturnStmt final : Stmt {
+  ReturnStmt() : Stmt(StmtKind::Return) {}
+};
+
+// ---------------------------------------------------------------- Proc --
+
+struct ProcDecl {
+  Symbol name;
+  SourceLoc loc;
+  std::vector<VarDeclPtr> params;
+  BlockPtr body;
+  /// Loop-index VarDecls synthesized by Sema (MF loop indices are
+  /// implicitly declared ints scoped to the loop).
+  std::vector<VarDeclPtr> synthesized;
+  /// All VarDecls of the procedure (params + locals + loop indices) in
+  /// local_id order; populated by Sema. Non-owning.
+  std::vector<VarDecl*> all_vars;
+};
+using ProcPtr = std::unique_ptr<ProcDecl>;
+
+struct Program {
+  Interner interner;
+  std::vector<ProcPtr> procs;
+
+  ProcDecl* findProc(std::string_view name);
+  const ProcDecl* findProc(std::string_view name) const;
+};
+
+/// Render an expression back to MF-ish source (for reports and run-time
+/// test display).
+std::string exprToString(const Expr& e, const Interner& interner);
+
+/// Deep-copy an expression tree (decl cross-references are preserved).
+ExprPtr cloneExpr(const Expr& e);
+
+/// Deep-copy with substitution: occurrences of VarRefs whose decl appears
+/// in `subst` are replaced by clones of the mapped expression. Used to
+/// translate predicates across call boundaries (formal -> actual).
+ExprPtr cloneExprSubst(
+    const Expr& e,
+    const std::function<const Expr*(const VarDecl*)>& subst);
+
+/// Collect all VarDecls referenced anywhere in the expression.
+void collectVars(const Expr& e, std::vector<const VarDecl*>& out);
+
+}  // namespace padfa

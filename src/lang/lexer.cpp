@@ -1,0 +1,196 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace padfa {
+
+std::string_view tokName(Tok t) {
+  switch (t) {
+    case Tok::Eof: return "end of input";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::RealLit: return "real literal";
+    case Tok::KwProc: return "'proc'";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwReal: return "'real'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwTo: return "'to'";
+    case Tok::KwStep: return "'step'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::EqEq: return "'=='";
+    case Tok::NotEq: return "'!='";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::Bang: return "'!'";
+  }
+  return "?";
+}
+
+namespace {
+const std::unordered_map<std::string_view, Tok> kKeywords = {
+    {"proc", Tok::KwProc}, {"int", Tok::KwInt},     {"real", Tok::KwReal},
+    {"if", Tok::KwIf},     {"else", Tok::KwElse},   {"for", Tok::KwFor},
+    {"to", Tok::KwTo},     {"step", Tok::KwStep},   {"return", Tok::KwReturn},
+};
+}  // namespace
+
+Lexer::Lexer(std::string_view source, DiagEngine& diags)
+    : src_(source), diags_(diags) {}
+
+char Lexer::peek(size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::match(char c) {
+  if (peek() != c) return false;
+  advance();
+  return true;
+}
+
+std::vector<Token> Lexer::run() {
+  std::vector<Token> out;
+  while (true) {
+    Token t = next();
+    bool eof = t.kind == Tok::Eof;
+    out.push_back(std::move(t));
+    if (eof) break;
+  }
+  return out;
+}
+
+Token Lexer::next() {
+  // Skip whitespace and comments ("//" to end of line, "#" to end of line).
+  while (pos_ < src_.size()) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (pos_ < src_.size() && peek() != '\n') advance();
+    } else if (c == '#') {
+      while (pos_ < src_.size() && peek() != '\n') advance();
+    } else {
+      break;
+    }
+  }
+  Token t;
+  t.loc = here();
+  if (pos_ >= src_.size()) {
+    t.kind = Tok::Eof;
+    return t;
+  }
+  char c = advance();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string word(1, c);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      word += advance();
+    auto it = kKeywords.find(word);
+    if (it != kKeywords.end()) {
+      t.kind = it->second;
+    } else {
+      t.kind = Tok::Ident;
+      t.text = std::move(word);
+    }
+    return t;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string num(1, c);
+    while (std::isdigit(static_cast<unsigned char>(peek()))) num += advance();
+    bool is_real = false;
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      is_real = true;
+      num += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) num += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      size_t save = pos_;
+      std::string exp(1, advance());
+      if (peek() == '+' || peek() == '-') exp += advance();
+      if (std::isdigit(static_cast<unsigned char>(peek()))) {
+        is_real = true;
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          exp += advance();
+        num += exp;
+      } else {
+        pos_ = save;  // not an exponent; leave 'e' for the next token
+      }
+    }
+    if (is_real) {
+      t.kind = Tok::RealLit;
+      t.real_value = std::strtod(num.c_str(), nullptr);
+    } else {
+      t.kind = Tok::IntLit;
+      t.int_value = std::strtoll(num.c_str(), nullptr, 10);
+    }
+    return t;
+  }
+  switch (c) {
+    case '(': t.kind = Tok::LParen; return t;
+    case ')': t.kind = Tok::RParen; return t;
+    case '{': t.kind = Tok::LBrace; return t;
+    case '}': t.kind = Tok::RBrace; return t;
+    case '[': t.kind = Tok::LBracket; return t;
+    case ']': t.kind = Tok::RBracket; return t;
+    case ',': t.kind = Tok::Comma; return t;
+    case ';': t.kind = Tok::Semi; return t;
+    case '+': t.kind = Tok::Plus; return t;
+    case '-': t.kind = Tok::Minus; return t;
+    case '*': t.kind = Tok::Star; return t;
+    case '/': t.kind = Tok::Slash; return t;
+    case '%': t.kind = Tok::Percent; return t;
+    case '=': t.kind = match('=') ? Tok::EqEq : Tok::Assign; return t;
+    case '!': t.kind = match('=') ? Tok::NotEq : Tok::Bang; return t;
+    case '<': t.kind = match('=') ? Tok::Le : Tok::Lt; return t;
+    case '>': t.kind = match('=') ? Tok::Ge : Tok::Gt; return t;
+    case '&':
+      if (match('&')) {
+        t.kind = Tok::AmpAmp;
+        return t;
+      }
+      break;
+    case '|':
+      if (match('|')) {
+        t.kind = Tok::PipePipe;
+        return t;
+      }
+      break;
+    default: break;
+  }
+  diags_.error(t.loc, std::string("unexpected character '") + c + "'");
+  t.kind = Tok::Eof;
+  return t;
+}
+
+}  // namespace padfa

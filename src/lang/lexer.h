@@ -1,0 +1,33 @@
+// Hand-written lexer for MF.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.h"
+#include "support/diagnostics.h"
+
+namespace padfa {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagEngine& diags);
+
+  /// Tokenize the whole buffer; the last token is always Eof.
+  std::vector<Token> run();
+
+ private:
+  Token next();
+  char peek(size_t ahead = 0) const;
+  char advance();
+  bool match(char c);
+  SourceLoc here() const { return {line_, col_}; }
+
+  std::string_view src_;
+  DiagEngine& diags_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t col_ = 1;
+};
+
+}  // namespace padfa

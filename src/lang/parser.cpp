@@ -1,0 +1,428 @@
+#include "lang/parser.h"
+
+#include "lang/lexer.h"
+
+namespace padfa {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagEngine& diags)
+      : toks_(std::move(tokens)), diags_(diags) {
+    program_ = std::make_unique<Program>();
+  }
+
+  std::unique_ptr<Program> run() {
+    while (!at(Tok::Eof)) {
+      if (at(Tok::KwProc)) {
+        auto p = parseProc();
+        if (!p) return nullptr;
+        program_->procs.push_back(std::move(p));
+      } else {
+        error("expected 'proc' at top level");
+        return nullptr;
+      }
+    }
+    if (diags_.hasErrors()) return nullptr;
+    return std::move(program_);
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Tok k) const { return cur().kind == k; }
+  Token take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool accept(Tok k) {
+    if (!at(k)) return false;
+    take();
+    return true;
+  }
+  bool expect(Tok k) {
+    if (accept(k)) return true;
+    error(std::string("expected ") + std::string(tokName(k)) + ", found " +
+          std::string(tokName(cur().kind)));
+    return false;
+  }
+  void error(std::string msg) { diags_.error(cur().loc, std::move(msg)); }
+
+  Symbol intern(const std::string& s) { return program_->interner.intern(s); }
+
+  ProcPtr parseProc() {
+    expect(Tok::KwProc);
+    if (!at(Tok::Ident)) {
+      error("expected procedure name");
+      return nullptr;
+    }
+    auto proc = std::make_unique<ProcDecl>();
+    proc->loc = cur().loc;
+    proc->name = intern(take().text);
+    if (!expect(Tok::LParen)) return nullptr;
+    if (!at(Tok::RParen)) {
+      do {
+        auto p = parseVarDecl(/*is_param=*/true);
+        if (!p) return nullptr;
+        proc->params.push_back(std::move(p));
+      } while (accept(Tok::Comma));
+    }
+    if (!expect(Tok::RParen)) return nullptr;
+    proc->body = parseBlock();
+    if (!proc->body) return nullptr;
+    return proc;
+  }
+
+  // Parses "int x" / "real a[n, m]" (+ "= init" and ";" handled by caller
+  // for locals).
+  VarDeclPtr parseVarDecl(bool is_param) {
+    auto d = std::make_unique<VarDecl>();
+    d->loc = cur().loc;
+    d->is_param = is_param;
+    if (accept(Tok::KwInt)) {
+      d->elem_type = Type::Int;
+    } else if (accept(Tok::KwReal)) {
+      d->elem_type = Type::Real;
+    } else {
+      error("expected type ('int' or 'real')");
+      return nullptr;
+    }
+    if (!at(Tok::Ident)) {
+      error("expected variable name");
+      return nullptr;
+    }
+    d->name = intern(take().text);
+    if (accept(Tok::LBracket)) {
+      do {
+        auto e = parseExpr();
+        if (!e) return nullptr;
+        d->dims.push_back(std::move(e));
+      } while (accept(Tok::Comma));
+      if (!expect(Tok::RBracket)) return nullptr;
+    }
+    return d;
+  }
+
+  BlockPtr parseBlock() {
+    if (!expect(Tok::LBrace)) return nullptr;
+    auto block = std::make_unique<BlockStmt>();
+    block->loc = cur().loc;
+    while (!at(Tok::RBrace) && !at(Tok::Eof)) {
+      if (at(Tok::KwInt) || at(Tok::KwReal)) {
+        auto d = parseVarDecl(/*is_param=*/false);
+        if (!d) return nullptr;
+        if (accept(Tok::Assign)) {
+          d->init = parseExpr();
+          if (!d->init) return nullptr;
+        }
+        if (!expect(Tok::Semi)) return nullptr;
+        block->decls.push_back(std::move(d));
+      } else {
+        auto s = parseStmt();
+        if (!s) return nullptr;
+        block->stmts.push_back(std::move(s));
+      }
+    }
+    if (!expect(Tok::RBrace)) return nullptr;
+    return block;
+  }
+
+  StmtPtr parseStmt() {
+    if (at(Tok::KwIf)) return parseIf();
+    if (at(Tok::KwFor)) return parseFor();
+    if (at(Tok::KwReturn)) {
+      auto s = std::make_unique<ReturnStmt>();
+      s->loc = cur().loc;
+      take();
+      if (!expect(Tok::Semi)) return nullptr;
+      return s;
+    }
+    if (at(Tok::Ident)) return parseAssignOrCall();
+    error(std::string("expected statement, found ") +
+          std::string(tokName(cur().kind)));
+    return nullptr;
+  }
+
+  StmtPtr parseIf() {
+    auto s = std::make_unique<IfStmt>();
+    s->loc = cur().loc;
+    expect(Tok::KwIf);
+    if (!expect(Tok::LParen)) return nullptr;
+    s->cond = parseExpr();
+    if (!s->cond) return nullptr;
+    if (!expect(Tok::RParen)) return nullptr;
+    s->then_block = parseBlock();
+    if (!s->then_block) return nullptr;
+    if (accept(Tok::KwElse)) {
+      if (at(Tok::KwIf)) {
+        // else-if chains become a nested block holding the if.
+        auto nested = std::make_unique<BlockStmt>();
+        nested->loc = cur().loc;
+        auto inner = parseIf();
+        if (!inner) return nullptr;
+        nested->stmts.push_back(std::move(inner));
+        s->else_block = std::move(nested);
+      } else {
+        s->else_block = parseBlock();
+        if (!s->else_block) return nullptr;
+      }
+    }
+    return s;
+  }
+
+  StmtPtr parseFor() {
+    auto s = std::make_unique<ForStmt>();
+    s->loc = cur().loc;
+    expect(Tok::KwFor);
+    if (!at(Tok::Ident)) {
+      error("expected loop index name");
+      return nullptr;
+    }
+    s->index_name = intern(take().text);
+    if (!expect(Tok::Assign)) return nullptr;
+    s->lower = parseExpr();
+    if (!s->lower) return nullptr;
+    if (!expect(Tok::KwTo)) return nullptr;
+    s->upper = parseExpr();
+    if (!s->upper) return nullptr;
+    if (accept(Tok::KwStep)) {
+      s->step = parseExpr();
+      if (!s->step) return nullptr;
+    }
+    s->body = parseBlock();
+    if (!s->body) return nullptr;
+    return s;
+  }
+
+  StmtPtr parseAssignOrCall() {
+    SourceLoc loc = cur().loc;
+    std::string name = take().text;
+    if (at(Tok::LParen)) {
+      auto call = std::make_unique<CallStmt>();
+      call->loc = loc;
+      call->callee = intern(name);
+      take();  // (
+      if (!at(Tok::RParen)) {
+        do {
+          auto e = parseExpr();
+          if (!e) return nullptr;
+          call->args.push_back(std::move(e));
+        } while (accept(Tok::Comma));
+      }
+      if (!expect(Tok::RParen)) return nullptr;
+      if (!expect(Tok::Semi)) return nullptr;
+      return call;
+    }
+    // Assignment: scalar or array element.
+    auto assign = std::make_unique<AssignStmt>();
+    assign->loc = loc;
+    if (at(Tok::LBracket)) {
+      auto ref = std::make_unique<ArrayRefExpr>(intern(name));
+      ref->loc = loc;
+      take();  // [
+      do {
+        auto e = parseExpr();
+        if (!e) return nullptr;
+        ref->indices.push_back(std::move(e));
+      } while (accept(Tok::Comma));
+      if (!expect(Tok::RBracket)) return nullptr;
+      assign->target = std::move(ref);
+    } else {
+      auto ref = std::make_unique<VarRefExpr>(intern(name));
+      ref->loc = loc;
+      assign->target = std::move(ref);
+    }
+    if (!expect(Tok::Assign)) return nullptr;
+    assign->value = parseExpr();
+    if (!assign->value) return nullptr;
+    if (!expect(Tok::Semi)) return nullptr;
+    return assign;
+  }
+
+  // ---- expressions ----
+
+  ExprPtr parseExpr() { return parseOr(); }
+
+  ExprPtr parseOr() {
+    auto lhs = parseAnd();
+    if (!lhs) return nullptr;
+    while (at(Tok::PipePipe)) {
+      SourceLoc loc = take().loc;
+      auto rhs = parseAnd();
+      if (!rhs) return nullptr;
+      auto e = std::make_unique<BinaryExpr>(BinOp::Or, std::move(lhs),
+                                            std::move(rhs));
+      e->loc = loc;
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parseAnd() {
+    auto lhs = parseCmp();
+    if (!lhs) return nullptr;
+    while (at(Tok::AmpAmp)) {
+      SourceLoc loc = take().loc;
+      auto rhs = parseCmp();
+      if (!rhs) return nullptr;
+      auto e = std::make_unique<BinaryExpr>(BinOp::And, std::move(lhs),
+                                            std::move(rhs));
+      e->loc = loc;
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parseCmp() {
+    auto lhs = parseAdd();
+    if (!lhs) return nullptr;
+    BinOp op;
+    switch (cur().kind) {
+      case Tok::EqEq: op = BinOp::Eq; break;
+      case Tok::NotEq: op = BinOp::Ne; break;
+      case Tok::Lt: op = BinOp::Lt; break;
+      case Tok::Le: op = BinOp::Le; break;
+      case Tok::Gt: op = BinOp::Gt; break;
+      case Tok::Ge: op = BinOp::Ge; break;
+      default: return lhs;
+    }
+    SourceLoc loc = take().loc;
+    auto rhs = parseAdd();
+    if (!rhs) return nullptr;
+    auto e =
+        std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    e->loc = loc;
+    return e;
+  }
+
+  ExprPtr parseAdd() {
+    auto lhs = parseMul();
+    if (!lhs) return nullptr;
+    while (at(Tok::Plus) || at(Tok::Minus)) {
+      BinOp op = at(Tok::Plus) ? BinOp::Add : BinOp::Sub;
+      SourceLoc loc = take().loc;
+      auto rhs = parseMul();
+      if (!rhs) return nullptr;
+      auto e =
+          std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+      e->loc = loc;
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parseMul() {
+    auto lhs = parseUnary();
+    if (!lhs) return nullptr;
+    while (at(Tok::Star) || at(Tok::Slash) || at(Tok::Percent)) {
+      BinOp op = at(Tok::Star)    ? BinOp::Mul
+                 : at(Tok::Slash) ? BinOp::Div
+                                  : BinOp::Rem;
+      SourceLoc loc = take().loc;
+      auto rhs = parseUnary();
+      if (!rhs) return nullptr;
+      auto e =
+          std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+      e->loc = loc;
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parseUnary() {
+    if (at(Tok::Minus) || at(Tok::Bang)) {
+      UnOp op = at(Tok::Minus) ? UnOp::Neg : UnOp::Not;
+      SourceLoc loc = take().loc;
+      auto operand = parseUnary();
+      if (!operand) return nullptr;
+      auto e = std::make_unique<UnaryExpr>(op, std::move(operand));
+      e->loc = loc;
+      return e;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    SourceLoc loc = cur().loc;
+    if (at(Tok::IntLit)) {
+      auto e = std::make_unique<IntLitExpr>(take().int_value);
+      e->loc = loc;
+      return e;
+    }
+    if (at(Tok::RealLit)) {
+      auto e = std::make_unique<RealLitExpr>(take().real_value);
+      e->loc = loc;
+      return e;
+    }
+    if (accept(Tok::LParen)) {
+      auto e = parseExpr();
+      if (!e) return nullptr;
+      if (!expect(Tok::RParen)) return nullptr;
+      return e;
+    }
+    if (at(Tok::Ident)) {
+      std::string name = take().text;
+      if (at(Tok::LParen)) {
+        // Intrinsic function call.
+        Intrinsic fn;
+        if (name == "min") fn = Intrinsic::Min;
+        else if (name == "max") fn = Intrinsic::Max;
+        else if (name == "abs") fn = Intrinsic::Abs;
+        else if (name == "sqrt") fn = Intrinsic::Sqrt;
+        else if (name == "noise") fn = Intrinsic::Noise;
+        else if (name == "inoise") fn = Intrinsic::INoise;
+        else {
+          diags_.error(loc, "unknown function '" + name +
+                                "' in expression (procedures may only be "
+                                "invoked as call statements)");
+          return nullptr;
+        }
+        auto e = std::make_unique<IntrinsicExpr>(fn);
+        e->loc = loc;
+        take();  // (
+        if (!at(Tok::RParen)) {
+          do {
+            auto a = parseExpr();
+            if (!a) return nullptr;
+            e->args.push_back(std::move(a));
+          } while (accept(Tok::Comma));
+        }
+        if (!expect(Tok::RParen)) return nullptr;
+        return e;
+      }
+      if (at(Tok::LBracket)) {
+        auto e = std::make_unique<ArrayRefExpr>(intern(name));
+        e->loc = loc;
+        take();  // [
+        do {
+          auto idx = parseExpr();
+          if (!idx) return nullptr;
+          e->indices.push_back(std::move(idx));
+        } while (accept(Tok::Comma));
+        if (!expect(Tok::RBracket)) return nullptr;
+        return e;
+      }
+      auto e = std::make_unique<VarRefExpr>(intern(name));
+      e->loc = loc;
+      return e;
+    }
+    error(std::string("expected expression, found ") +
+          std::string(tokName(cur().kind)));
+    return nullptr;
+  }
+
+  std::vector<Token> toks_;
+  DiagEngine& diags_;
+  size_t pos_ = 0;
+  std::unique_ptr<Program> program_;
+};
+
+}  // namespace
+
+std::unique_ptr<Program> parseProgram(std::string_view source,
+                                      DiagEngine& diags) {
+  Lexer lexer(source, diags);
+  auto tokens = lexer.run();
+  if (diags.hasErrors()) return nullptr;
+  Parser parser(std::move(tokens), diags);
+  return parser.run();
+}
+
+}  // namespace padfa

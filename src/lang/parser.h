@@ -1,0 +1,18 @@
+// Recursive-descent parser for MF.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "lang/ast.h"
+#include "lang/token.h"
+#include "support/diagnostics.h"
+
+namespace padfa {
+
+/// Parse a full MF source buffer into a Program. Returns nullptr if any
+/// parse error was reported.
+std::unique_ptr<Program> parseProgram(std::string_view source,
+                                      DiagEngine& diags);
+
+}  // namespace padfa

@@ -1,0 +1,69 @@
+// Token definitions for the MF mini-language.
+//
+// MF ("mini-Fortran") is the input language of this reproduction: a small
+// structured language with the features the paper's analysis cares about —
+// counted loops, conditionals, multi-dimensional arrays, call statements —
+// and nothing else (no pointers, no unstructured control flow).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source_loc.h"
+
+namespace padfa {
+
+enum class Tok : uint8_t {
+  Eof,
+  Ident,
+  IntLit,
+  RealLit,
+  // Keywords.
+  KwProc,
+  KwInt,
+  KwReal,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwTo,
+  KwStep,
+  KwReturn,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Assign,  // =
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  AmpAmp,
+  PipePipe,
+  Bang,
+};
+
+struct Token {
+  Tok kind = Tok::Eof;
+  SourceLoc loc;
+  std::string text;     // identifier spelling
+  int64_t int_value = 0;
+  double real_value = 0;
+};
+
+std::string_view tokName(Tok t);
+
+}  // namespace padfa

@@ -1,0 +1,126 @@
+#include "presburger/linexpr.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace padfa::pb {
+
+LinExpr LinExpr::var(VarId v, int64_t coeff) {
+  LinExpr e;
+  if (coeff != 0) e.terms_.push_back({v, coeff});
+  return e;
+}
+
+int64_t LinExpr::coeff(VarId v) const {
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), v,
+      [](const auto& t, VarId key) { return t.first < key; });
+  if (it != terms_.end() && it->first == v) return it->second;
+  return 0;
+}
+
+void LinExpr::addTerm(VarId v, int64_t c) {
+  if (c == 0) return;
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), v,
+      [](const auto& t, VarId key) { return t.first < key; });
+  if (it != terms_.end() && it->first == v) {
+    it->second += c;
+    if (it->second == 0) terms_.erase(it);
+  } else {
+    terms_.insert(it, {v, c});
+  }
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& o) {
+  for (const auto& [v, c] : o.terms_) addTerm(v, c);
+  constant_ += o.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& o) {
+  for (const auto& [v, c] : o.terms_) addTerm(v, -c);
+  constant_ -= o.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(int64_t k) {
+  if (k == 0) {
+    terms_.clear();
+    constant_ = 0;
+    return *this;
+  }
+  for (auto& [v, c] : terms_) c *= k;
+  constant_ *= k;
+  return *this;
+}
+
+LinExpr LinExpr::negated() const {
+  LinExpr e = *this;
+  e *= -1;
+  return e;
+}
+
+void LinExpr::substitute(VarId v, const LinExpr& repl) {
+  int64_t c = coeff(v);
+  if (c == 0) return;
+  addTerm(v, -c);
+  LinExpr scaled = repl;
+  scaled *= c;
+  *this += scaled;
+}
+
+int64_t LinExpr::coeffGcd() const {
+  int64_t g = 0;
+  for (const auto& [v, c] : terms_) g = std::gcd(g, c < 0 ? -c : c);
+  return g;
+}
+
+void LinExpr::divideExact(int64_t k) {
+  for (auto& [v, c] : terms_) c /= k;
+  constant_ /= k;
+}
+
+void LinExpr::divideFloorConstant(int64_t k) {
+  for (auto& [v, c] : terms_) c /= k;
+  // floor division for the constant (C++ division truncates toward zero).
+  int64_t q = constant_ / k;
+  int64_t r = constant_ % k;
+  if (r != 0 && ((r < 0) != (k < 0))) --q;
+  constant_ = q;
+}
+
+int64_t LinExpr::evaluate(const std::vector<int64_t>& values) const {
+  int64_t sum = constant_;
+  for (const auto& [v, c] : terms_) sum += c * values.at(v);
+  return sum;
+}
+
+std::string LinExpr::str(
+    const std::function<std::string(VarId)>& name) const {
+  std::string out;
+  bool first = true;
+  for (const auto& [v, c] : terms_) {
+    std::string vn = name ? name(v) : ("v" + std::to_string(v));
+    if (first) {
+      if (c == -1)
+        out += "-";
+      else if (c != 1)
+        out += std::to_string(c) + "*";
+      out += vn;
+      first = false;
+    } else {
+      out += (c < 0) ? " - " : " + ";
+      int64_t a = c < 0 ? -c : c;
+      if (a != 1) out += std::to_string(a) + "*";
+      out += vn;
+    }
+  }
+  if (first) return std::to_string(constant_);
+  if (constant_ > 0) out += " + " + std::to_string(constant_);
+  if (constant_ < 0) out += " - " + std::to_string(-constant_);
+  return out;
+}
+
+}  // namespace padfa::pb

@@ -1,0 +1,68 @@
+// Sparse integer linear expressions: sum(coeff_i * var_i) + constant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "presburger/var.h"
+
+namespace padfa::pb {
+
+/// A linear expression with int64 coefficients over VarIds plus an int64
+/// constant. Terms are kept sorted by VarId with no zero coefficients, so
+/// structural equality is semantic equality.
+class LinExpr {
+ public:
+  LinExpr() = default;
+  explicit LinExpr(int64_t constant) : constant_(constant) {}
+
+  static LinExpr var(VarId v, int64_t coeff = 1);
+
+  int64_t constant() const { return constant_; }
+  void setConstant(int64_t c) { constant_ = c; }
+
+  const std::vector<std::pair<VarId, int64_t>>& terms() const {
+    return terms_;
+  }
+  bool isConstant() const { return terms_.empty(); }
+  size_t numTerms() const { return terms_.size(); }
+
+  int64_t coeff(VarId v) const;
+  void addTerm(VarId v, int64_t coeff);
+
+  LinExpr& operator+=(const LinExpr& o);
+  LinExpr& operator-=(const LinExpr& o);
+  LinExpr& operator*=(int64_t k);
+  friend LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+  friend LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+  friend LinExpr operator*(LinExpr a, int64_t k) { return a *= k; }
+  LinExpr negated() const;
+
+  /// Replace `v` with `repl` (coefficient-scaled). The coefficient of `v`
+  /// must be divisible by the implicit denominator of 1 — i.e. this is
+  /// exact: result = this - coeff(v)*v + coeff(v)*repl.
+  void substitute(VarId v, const LinExpr& repl);
+
+  /// gcd of all term coefficients (0 if no terms).
+  int64_t coeffGcd() const;
+
+  /// Divide all coefficients and the constant exactly by k (caller must
+  /// ensure divisibility of coefficients; constant uses floor division if
+  /// floor_constant, else must divide exactly).
+  void divideExact(int64_t k);
+  void divideFloorConstant(int64_t k);
+
+  int64_t evaluate(const std::vector<int64_t>& values) const;
+
+  bool operator==(const LinExpr& o) const = default;
+
+  std::string str(
+      const std::function<std::string(VarId)>& name = nullptr) const;
+
+ private:
+  std::vector<std::pair<VarId, int64_t>> terms_;
+  int64_t constant_ = 0;
+};
+
+}  // namespace padfa::pb

@@ -1,0 +1,78 @@
+// Unions of convex integer sets ("pieces"), the representation of array
+// sections in the data-flow analysis.
+//
+// Each Set carries an `exact` flag. Operations that would exceed the piece
+// cap degrade gracefully: may-sets are over-approximated (keep the
+// unsubtracted piece), and the flag records the loss so must-style
+// reasoning (coverage, privatization) can refuse to rely on inexact sets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "presburger/system.h"
+
+namespace padfa::pb {
+
+class Set {
+ public:
+  /// The empty set.
+  Set() = default;
+
+  /// A single convex piece.
+  explicit Set(System piece) { pieces_.push_back(std::move(piece)); }
+
+  static Set empty() { return Set(); }
+  /// The universe (one unconstrained piece).
+  static Set universe() { return Set(System()); }
+
+  const std::vector<System>& pieces() const { return pieces_; }
+  bool exact() const { return exact_; }
+  void markInexact() { exact_ = false; }
+  size_t numPieces() const { return pieces_.size(); }
+
+  /// Remove infeasible pieces and structural duplicates.
+  void simplify();
+
+  bool isEmpty() const;
+
+  /// this := this ∪ o (piece concatenation; cap-aware).
+  void unionWith(const Set& o);
+
+  /// this ∩ o (cross product of pieces).
+  Set intersect(const Set& o) const;
+
+  /// Exact integer subtraction this − o by constraint splitting. On piece
+  /// blow-up past the cap the result keeps whole minuend pieces
+  /// (over-approximation) and is marked inexact.
+  Set subtract(const Set& o) const;
+
+  /// true iff this ⊆ o can be *proven* (this − o is empty and exact).
+  bool isSubsetOf(const Set& o) const;
+
+  /// Conjoin a constraint system onto every piece.
+  void constrain(const System& s);
+
+  /// Eliminate all variables not accepted by `keep` in every piece
+  /// (rational projection; a superset of the integer projection).
+  /// Marks the set inexact when any piece's projection may be strict.
+  void projectOnto(const VarFilter& keep);
+
+  /// Substitute v := repl in every piece.
+  void substitute(VarId v, const LinExpr& repl);
+
+  /// Does the set contain this full integer assignment? (Exact on the
+  /// stored pieces.)
+  bool contains(const std::vector<int64_t>& values) const;
+
+  std::string str(
+      const std::function<std::string(VarId)>& name = nullptr) const;
+
+  static constexpr size_t kMaxPieces = 24;
+
+ private:
+  std::vector<System> pieces_;
+  bool exact_ = true;
+};
+
+}  // namespace padfa::pb

@@ -1,0 +1,339 @@
+#include "presburger/system.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace padfa::pb {
+
+namespace {
+
+// Overflow-checked helpers: on (rare) overflow we saturate, which can only
+// make feasibility answers more conservative because callers treat
+// "couldn't decide" as feasible.
+int64_t mulSat(int64_t a, int64_t b) {
+  __int128 p = static_cast<__int128>(a) * b;
+  if (p > INT64_MAX) return INT64_MAX;
+  if (p < INT64_MIN) return INT64_MIN;
+  return static_cast<int64_t>(p);
+}
+
+// Scale-combine: out = a*x + b*y computed with saturation on each term.
+LinExpr combine(const LinExpr& x, int64_t a, const LinExpr& y, int64_t b) {
+  LinExpr out;
+  std::map<VarId, int64_t> acc;
+  for (const auto& [v, c] : x.terms()) acc[v] += mulSat(c, a);
+  for (const auto& [v, c] : y.terms()) acc[v] += mulSat(c, b);
+  for (const auto& [v, c] : acc) out.addTerm(v, c);
+  out.setConstant(mulSat(x.constant(), a) + mulSat(y.constant(), b));
+  return out;
+}
+
+}  // namespace
+
+Constraint Constraint::negatedGE() const {
+  LinExpr e = expr.negated();
+  e.setConstant(e.constant() - 1);
+  return Constraint::ge0(std::move(e));
+}
+
+std::string Constraint::str(
+    const std::function<std::string(VarId)>& name) const {
+  return expr.str(name) + (kind == CmpKind::GE0 ? " >= 0" : " == 0");
+}
+
+void System::conjoin(const System& o) {
+  constraints_.insert(constraints_.end(), o.constraints_.begin(),
+                      o.constraints_.end());
+}
+
+bool System::normalize() {
+  std::vector<Constraint> out;
+  // Map from term-vector signature to index in `out` for parallel-GE merge.
+  for (auto& c : constraints_) {
+    // gcd reduction / constant-only checks.
+    if (c.expr.isConstant()) {
+      int64_t k = c.expr.constant();
+      if (c.kind == CmpKind::EQ0 && k != 0) return false;
+      if (c.kind == CmpKind::GE0 && k < 0) return false;
+      continue;  // trivially true
+    }
+    int64_t g = c.expr.coeffGcd();
+    if (g > 1) {
+      if (c.kind == CmpKind::EQ0) {
+        if (c.expr.constant() % g != 0) return false;  // no integer solution
+        c.expr.divideExact(g);
+      } else {
+        c.expr.divideFloorConstant(g);  // integer tightening
+      }
+    }
+    out.push_back(std::move(c));
+  }
+
+  // Merge parallel GE constraints (same term vector): keep the tightest
+  // (smallest constant); detect EQ duplicates; detect e>=0 && -e+k>=0, k<0.
+  struct Key {
+    std::vector<std::pair<VarId, int64_t>> terms;
+    bool eq;
+    bool operator<(const Key& o) const {
+      if (eq != o.eq) return eq < o.eq;
+      return terms < o.terms;
+    }
+  };
+  std::map<Key, int64_t> best;  // key -> tightest constant
+  for (const auto& c : out) {
+    Key k{c.expr.terms(), c.kind == CmpKind::EQ0};
+    auto it = best.find(k);
+    if (it == best.end()) {
+      best.emplace(std::move(k), c.expr.constant());
+    } else if (c.kind == CmpKind::GE0) {
+      it->second = std::min(it->second, c.expr.constant());
+    } else if (it->second != c.expr.constant()) {
+      return false;  // e + a == 0 and e + b == 0 with a != b
+    }
+  }
+  constraints_.clear();
+  for (const auto& [k, cst] : best) {
+    LinExpr e;
+    for (const auto& [v, c] : k.terms) e.addTerm(v, c);
+    e.setConstant(cst);
+    constraints_.push_back({std::move(e), k.eq ? CmpKind::EQ0 : CmpKind::GE0});
+  }
+  return !quickInfeasible();
+}
+
+// Detect e >= 0 and -e + k >= 0 with -? bound conflict, plus eq/ge
+// contradictions on identical term vectors. Cheap check before full FM.
+bool System::quickInfeasible() const {
+  // Index GE constraints by their term vector; compare against negation.
+  std::map<std::vector<std::pair<VarId, int64_t>>, int64_t> ge;  // tightest
+  std::map<std::vector<std::pair<VarId, int64_t>>, int64_t> eq;
+  for (const auto& c : constraints_) {
+    if (c.expr.isConstant()) {
+      if (c.kind == CmpKind::EQ0 && c.expr.constant() != 0) return true;
+      if (c.kind == CmpKind::GE0 && c.expr.constant() < 0) return true;
+      continue;
+    }
+    if (c.kind == CmpKind::GE0) {
+      auto [it, inserted] = ge.emplace(c.expr.terms(), c.expr.constant());
+      if (!inserted) it->second = std::min(it->second, c.expr.constant());
+    } else {
+      auto [it, inserted] = eq.emplace(c.expr.terms(), c.expr.constant());
+      if (!inserted && it->second != c.expr.constant()) return true;
+    }
+  }
+  for (const auto& [terms, cst] : ge) {
+    // Negated term vector.
+    auto neg = terms;
+    for (auto& [v, c] : neg) c = -c;
+    auto it = ge.find(neg);
+    if (it != ge.end()) {
+      // e + cst >= 0 and -e + cst2 >= 0  =>  -cst <= e <= cst2.
+      if (cst + it->second < 0) return true;
+    }
+    auto ie = eq.find(neg);
+    if (ie != eq.end()) {
+      // -e + k == 0 => e == k; need k + cst >= 0.
+      if (ie->second + cst < 0) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+// Out-of-class shim so normalize can reuse quickInfeasible on *this.
+}  // namespace
+
+bool System::eliminate(VarId v) {
+  bool exact = true;
+  return eliminateTracked(v, exact);
+}
+
+bool System::eliminateTracked(VarId v, bool& exact) {
+  // Prefer substitution using an equality with coefficient ±1 on v.
+  for (size_t i = 0; i < constraints_.size(); ++i) {
+    const Constraint& c = constraints_[i];
+    if (c.kind != CmpKind::EQ0) continue;
+    int64_t a = c.expr.coeff(v);
+    if (a == 1 || a == -1) {
+      // v = (-(expr - a*v)) / a
+      LinExpr rest = c.expr;
+      rest.addTerm(v, -a);
+      LinExpr repl = rest.negated();
+      if (a == -1) repl = repl.negated();
+      constraints_.erase(constraints_.begin() + i);
+      substitute(v, repl);
+      return normalize();
+    }
+  }
+
+  std::vector<Constraint> lower, upper, rest;
+  std::vector<Constraint> eqs;
+  for (auto& c : constraints_) {
+    int64_t a = c.expr.coeff(v);
+    if (a == 0) {
+      rest.push_back(std::move(c));
+    } else if (c.kind == CmpKind::EQ0) {
+      eqs.push_back(std::move(c));
+    } else if (a > 0) {
+      lower.push_back(std::move(c));
+    } else {
+      upper.push_back(std::move(c));
+    }
+  }
+
+  // An equality a*v + e == 0 with |a| > 1: treat as pair of inequalities
+  // (conservative for elimination; gcd check already ran in normalize).
+  for (auto& c : eqs) {
+    int64_t a = c.expr.coeff(v);
+    Constraint geq = Constraint::ge0(c.expr);
+    Constraint leq = Constraint::ge0(c.expr.negated());
+    if (a > 0) {
+      lower.push_back(geq);
+      upper.push_back(leq);
+    } else {
+      lower.push_back(leq);
+      upper.push_back(geq);
+    }
+  }
+
+  if (rest.size() + lower.size() * upper.size() > kMaxConstraints) {
+    // Bail out: drop all constraints involving v (over-approximation).
+    exact = false;
+    constraints_ = std::move(rest);
+    return normalize();
+  }
+
+  std::vector<Constraint> out = std::move(rest);
+  for (const auto& lo : lower) {
+    int64_t a = lo.expr.coeff(v);  // a > 0
+    for (const auto& up : upper) {
+      int64_t b = -up.expr.coeff(v);  // b > 0
+      // a*v + e >= 0, -b*v + f >= 0  =>  b*e + a*f >= 0.
+      // Integer-exact when min(a, b) == 1 (Pugh's exact-shadow condition).
+      if (a > 1 && b > 1) exact = false;
+      LinExpr comb = combine(lo.expr, b, up.expr, a);
+      // coefficient of v: b*a + a*(-b) = 0 by construction.
+      out.push_back(Constraint::ge0(std::move(comb)));
+    }
+  }
+  constraints_ = std::move(out);
+  return normalize() && !quickInfeasible();
+}
+
+bool System::projectOnto(const VarFilter& keep) {
+  bool exact = true;
+  return projectOntoTracked(keep, exact);
+}
+
+bool System::projectOntoTracked(const VarFilter& keep, bool& exact) {
+  while (true) {
+    // Prefer victims with a unit-coefficient equality (exact
+    // substitution; preserves divisibility facts — see feasible()).
+    VarId victim = kInvalidVar;
+    bool victim_unit = false;
+    for (VarId v : usedVars()) {
+      if (keep(v)) continue;
+      bool unit = false;
+      for (const auto& c : constraints_) {
+        if (c.kind != CmpKind::EQ0) continue;
+        int64_t a = c.expr.coeff(v);
+        if (a == 1 || a == -1) unit = true;
+      }
+      if (victim == kInvalidVar || (unit && !victim_unit)) {
+        victim = v;
+        victim_unit = unit;
+        if (unit) break;
+      }
+    }
+    if (victim == kInvalidVar) return true;
+    if (!eliminateTracked(victim, exact)) return false;
+  }
+}
+
+bool System::feasible() const {
+  System copy = *this;
+  if (!copy.normalize()) return false;
+  if (copy.quickInfeasible()) return false;
+  // Eliminate all variables. Variables with a unit-coefficient equality
+  // are substituted first: substitution is exact and, crucially,
+  // propagates divisibility information (e.g. i == 3k) into the
+  // remaining constraints where the gcd check can catch integer
+  // infeasibility that pure Fourier–Motzkin would lose.
+  while (true) {
+    auto vars = copy.usedVars();
+    if (vars.empty()) break;
+    VarId best = vars[0];
+    size_t bestCost = SIZE_MAX;
+    bool bestUnit = false;
+    for (VarId v : vars) {
+      size_t lo = 0, up = 0, eq = 0;
+      bool unit = false;
+      for (const auto& c : copy.constraints_) {
+        int64_t a = c.expr.coeff(v);
+        if (a == 0) continue;
+        if (c.kind == CmpKind::EQ0) {
+          ++eq;
+          if (a == 1 || a == -1) unit = true;
+        } else if (a > 0) {
+          ++lo;
+        } else {
+          ++up;
+        }
+      }
+      size_t cost = (lo + eq) * (up + eq);
+      if ((unit && !bestUnit) || (unit == bestUnit && cost < bestCost)) {
+        bestCost = cost;
+        best = v;
+        bestUnit = unit;
+      }
+    }
+    if (!copy.eliminate(best)) return false;
+    if (copy.quickInfeasible()) return false;
+    if (copy.size() > kMaxConstraints) return true;  // give up: assume feasible
+  }
+  // Only constant constraints remain; normalize() already validated them.
+  for (const auto& c : copy.constraints_) {
+    if (c.expr.isConstant()) {
+      if (c.kind == CmpKind::EQ0 && c.expr.constant() != 0) return false;
+      if (c.kind == CmpKind::GE0 && c.expr.constant() < 0) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<VarId> System::usedVars() const {
+  std::vector<VarId> vars;
+  for (const auto& c : constraints_)
+    for (const auto& [v, coeff] : c.expr.terms()) vars.push_back(v);
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+void System::substitute(VarId v, const LinExpr& repl) {
+  for (auto& c : constraints_) c.expr.substitute(v, repl);
+}
+
+bool System::contains(const std::vector<int64_t>& values) const {
+  for (const auto& c : constraints_) {
+    int64_t val = c.expr.evaluate(values);
+    if (c.kind == CmpKind::EQ0 && val != 0) return false;
+    if (c.kind == CmpKind::GE0 && val < 0) return false;
+  }
+  return true;
+}
+
+std::string System::str(
+    const std::function<std::string(VarId)>& name) const {
+  if (constraints_.empty()) return "{ true }";
+  std::string out = "{ ";
+  for (size_t i = 0; i < constraints_.size(); ++i) {
+    if (i) out += "  &&  ";
+    out += constraints_[i].str(name);
+  }
+  out += " }";
+  return out;
+}
+
+}  // namespace padfa::pb

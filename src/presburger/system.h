@@ -1,0 +1,110 @@
+// Conjunctions of integer linear constraints (one convex piece), with
+// Fourier–Motzkin elimination and rational feasibility testing.
+//
+// Soundness direction: feasible() may answer true for a system with no
+// integer solutions (rational relaxation), but never answers false for a
+// system that has integer points. Clients prove *independence* /
+// *coverage* from infeasibility, so the relaxation is conservative.
+// Equality gcd checks and GE-constraint tightening recover the common
+// integer-only infeasibilities (e.g. 2i == 2j+1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "presburger/linexpr.h"
+
+namespace padfa::pb {
+
+enum class CmpKind : uint8_t {
+  GE0,  // expr >= 0
+  EQ0,  // expr == 0
+};
+
+struct Constraint {
+  LinExpr expr;
+  CmpKind kind = CmpKind::GE0;
+
+  static Constraint ge0(LinExpr e) { return {std::move(e), CmpKind::GE0}; }
+  static Constraint eq0(LinExpr e) { return {std::move(e), CmpKind::EQ0}; }
+
+  /// Integer negation of a GE0 constraint: !(e >= 0)  ==  (-e - 1 >= 0).
+  /// Only valid for GE0.
+  Constraint negatedGE() const;
+
+  bool operator==(const Constraint& o) const = default;
+  std::string str(
+      const std::function<std::string(VarId)>& name = nullptr) const;
+};
+
+/// A conjunction of constraints over integer-valued variables.
+class System {
+ public:
+  System() = default;
+
+  void add(Constraint c) { constraints_.push_back(std::move(c)); }
+  void addGE0(LinExpr e) { add(Constraint::ge0(std::move(e))); }
+  void addEQ0(LinExpr e) { add(Constraint::eq0(std::move(e))); }
+  void conjoin(const System& o);
+
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  size_t size() const { return constraints_.size(); }
+  bool trivial() const { return constraints_.empty(); }
+
+  /// Normalize in place: gcd-reduce, tighten GE constants, drop trivially
+  /// true constraints, dedupe, keep the tightest of parallel constraints.
+  /// Returns false if a constraint is detected to be unsatisfiable (the
+  /// system is then in an unspecified state and must be treated as empty).
+  bool normalize();
+
+  /// Eliminate `v` by Fourier–Motzkin (using equality substitution when an
+  /// equality involving v exists). The result describes the rational shadow
+  /// (superset of the integer projection). Returns false if infeasibility
+  /// was detected during elimination.
+  bool eliminate(VarId v);
+
+  /// Like eliminate(), but clears `exact` when the projection may be a
+  /// strict superset of the integer projection (some eliminated pair had
+  /// both coefficients with |a| > 1 — the unit-coefficient FM exactness
+  /// condition — or the work limit forced an over-approximation).
+  bool eliminateTracked(VarId v, bool& exact);
+
+  /// Eliminate every variable not accepted by `keep`.
+  /// Returns false on detected infeasibility.
+  bool projectOnto(const VarFilter& keep);
+
+  /// Tracked variant of projectOnto (see eliminateTracked).
+  bool projectOntoTracked(const VarFilter& keep, bool& exact);
+
+  /// Rational feasibility (with integer gcd/tightening refinements).
+  bool feasible() const;
+
+  /// All VarIds appearing with nonzero coefficient, ascending.
+  std::vector<VarId> usedVars() const;
+
+  /// Substitute v := repl everywhere (exact, integer).
+  void substitute(VarId v, const LinExpr& repl);
+
+  /// Evaluate against a full assignment: true iff all constraints hold.
+  bool contains(const std::vector<int64_t>& values) const;
+
+  /// Detect a pair of constraints e >= 0 and -e + k >= 0 with k < 0, or
+  /// normalize-detected contradictions. Cheap check used before full FM.
+  bool quickInfeasible() const;
+
+  std::string str(
+      const std::function<std::string(VarId)>& name = nullptr) const;
+
+  bool operator==(const System& o) const = default;
+
+  /// Work limit for feasibility/elimination: when the constraint count
+  /// would exceed this, elimination bails out and feasible() answers true
+  /// (the conservative direction).
+  static constexpr size_t kMaxConstraints = 2048;
+
+ private:
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace padfa::pb

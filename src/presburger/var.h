@@ -1,0 +1,20 @@
+// Variable identities for the linear-inequality domain.
+//
+// The presburger module is deliberately agnostic of what a variable *means*
+// (array subscript dimension, loop index, or symbolic parameter) — that
+// classification lives in symbolic::VarTable. Here a variable is just a
+// dense id.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace padfa::pb {
+
+using VarId = uint32_t;
+inline constexpr VarId kInvalidVar = ~0u;
+
+/// Predicate used when projecting: returns true for variables to KEEP.
+using VarFilter = std::function<bool(VarId)>;
+
+}  // namespace padfa::pb

@@ -1,0 +1,94 @@
+#include "runtime/thread_pool.h"
+
+namespace padfa {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  unsigned extra = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(extra);
+  for (unsigned i = 0; i < extra; ++i)
+    workers_.emplace_back([this, i] { workerLoop(i + 1); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop(unsigned index) {
+  uint64_t seen = 0;
+  while (true) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::runOnAll(const std::function<void(unsigned)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    remaining_ = static_cast<unsigned>(workers_.size());
+    error_ = nullptr;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  std::exception_ptr caller_error;
+  try {
+    fn(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (error_) std::rethrow_exception(error_);
+}
+
+std::vector<std::pair<int64_t, int64_t>> splitIterations(int64_t lo,
+                                                         int64_t hi,
+                                                         int64_t step,
+                                                         unsigned parts) {
+  std::vector<std::pair<int64_t, int64_t>> out(parts, {1, 0});
+  if (step <= 0 || lo > hi || parts == 0) return out;
+  int64_t count = (hi - lo) / step + 1;
+  int64_t base = count / parts;
+  int64_t rem = count % parts;
+  int64_t start_idx = 0;
+  for (unsigned p = 0; p < parts; ++p) {
+    int64_t n = base + (static_cast<int64_t>(p) < rem ? 1 : 0);
+    if (n <= 0) continue;
+    int64_t first = lo + start_idx * step;
+    int64_t last = lo + (start_idx + n - 1) * step;
+    out[p] = {first, last};
+    start_idx += n;
+  }
+  return out;
+}
+
+}  // namespace padfa

@@ -1,0 +1,54 @@
+// Minimal persistent thread pool for parallel loop execution.
+//
+// The interpreter's parallel loops follow the SUIF execution model: a
+// parallel region is dispatched to T workers, each executing a contiguous
+// chunk of the iteration space, with a barrier at loop exit.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace padfa {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Run fn(worker_index) on every worker (0..size-1) and wait for all.
+  /// worker 0 runs on the calling thread. Exceptions thrown by workers
+  /// are rethrown on the caller (first one wins).
+  void runOnAll(const std::function<void(unsigned)>& fn);
+
+ private:
+  void workerLoop(unsigned index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+/// Split the inclusive iteration range [lo, hi] with stride `step` into
+/// `parts` contiguous chunks. Returns per-part inclusive [first, last]
+/// pairs; empty parts have first > last.
+std::vector<std::pair<int64_t, int64_t>> splitIterations(int64_t lo,
+                                                         int64_t hi,
+                                                         int64_t step,
+                                                         unsigned parts);
+
+}  // namespace padfa

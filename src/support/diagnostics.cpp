@@ -1,0 +1,26 @@
+#include "support/diagnostics.h"
+
+namespace padfa {
+
+std::string Diagnostic::str() const {
+  std::string out;
+  switch (severity) {
+    case DiagSeverity::Note: out = "note"; break;
+    case DiagSeverity::Warning: out = "warning"; break;
+    case DiagSeverity::Error: out = "error"; break;
+  }
+  if (loc.valid()) out += " at " + loc.str();
+  out += ": " + message;
+  return out;
+}
+
+std::string DiagEngine::dump() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += d.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace padfa

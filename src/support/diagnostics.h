@@ -1,0 +1,52 @@
+// Diagnostic collection for the frontend and analyses.
+//
+// All user-facing errors (parse errors, semantic errors, analysis
+// limitations worth reporting) flow through a DiagEngine so library code
+// never writes to stderr directly and tests can assert on diagnostics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source_loc.h"
+
+namespace padfa {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  std::string str() const;
+};
+
+/// Accumulates diagnostics; owned by the driver / test and passed by
+/// reference into frontend phases.
+class DiagEngine {
+ public:
+  void error(SourceLoc loc, std::string msg) {
+    diags_.push_back({DiagSeverity::Error, loc, std::move(msg)});
+    ++num_errors_;
+  }
+  void warning(SourceLoc loc, std::string msg) {
+    diags_.push_back({DiagSeverity::Warning, loc, std::move(msg)});
+  }
+  void note(SourceLoc loc, std::string msg) {
+    diags_.push_back({DiagSeverity::Note, loc, std::move(msg)});
+  }
+
+  bool hasErrors() const { return num_errors_ > 0; }
+  size_t errorCount() const { return num_errors_; }
+  const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// All diagnostics joined by newlines — convenient for test failure text.
+  std::string dump() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  size_t num_errors_ = 0;
+};
+
+}  // namespace padfa

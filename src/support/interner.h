@@ -1,0 +1,47 @@
+// String interning: maps identifiers to dense small integer ids so symbol
+// comparisons and hash-map keys are O(1) integers throughout the compiler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace padfa {
+
+/// Dense id for an interned string. Id 0 is reserved for the empty string.
+struct Symbol {
+  uint32_t id = 0;
+  bool empty() const { return id == 0; }
+  friend bool operator==(const Symbol&, const Symbol&) = default;
+  friend auto operator<=>(const Symbol&, const Symbol&) = default;
+};
+
+class Interner {
+ public:
+  Interner() { intern(""); }
+
+  Symbol intern(std::string_view s) {
+    auto it = map_.find(std::string(s));
+    if (it != map_.end()) return Symbol{it->second};
+    uint32_t id = static_cast<uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    map_.emplace(strings_.back(), id);
+    return Symbol{id};
+  }
+
+  std::string_view str(Symbol s) const { return strings_.at(s.id); }
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t> map_;
+};
+
+}  // namespace padfa
+
+template <>
+struct std::hash<padfa::Symbol> {
+  size_t operator()(padfa::Symbol s) const noexcept { return s.id; }
+};

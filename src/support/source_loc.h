@@ -1,0 +1,21 @@
+// Source locations for diagnostics in the MF mini-language frontend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace padfa {
+
+/// A position in an MF source buffer (1-based line and column).
+struct SourceLoc {
+  uint32_t line = 0;
+  uint32_t col = 0;
+
+  bool valid() const { return line != 0; }
+  std::string str() const {
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+}  // namespace padfa

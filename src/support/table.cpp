@@ -1,0 +1,59 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace padfa {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : num_cols_(header.size()) {
+  rows_.push_back({std::move(header), false});
+  addSeparator();
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  cells.resize(num_cols_);
+  rows_.push_back({std::move(cells), false});
+}
+
+void TextTable::addSeparator() { rows_.push_back({{}, true}); }
+
+std::string TextTable::render() const {
+  std::vector<size_t> widths(num_cols_, 0);
+  for (const auto& r : rows_) {
+    if (r.separator) continue;
+    for (size_t c = 0; c < r.cells.size(); ++c)
+      widths[c] = std::max(widths[c], r.cells[c].size());
+  }
+  std::string out;
+  for (const auto& r : rows_) {
+    if (r.separator) {
+      for (size_t c = 0; c < num_cols_; ++c) {
+        out += '+';
+        out.append(widths[c] + 2, '-');
+      }
+      out += "+\n";
+      continue;
+    }
+    for (size_t c = 0; c < num_cols_; ++c) {
+      out += "| ";
+      out += r.cells[c];
+      out.append(widths[c] - r.cells[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string fmtDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmtPercent(double num, double den, int precision) {
+  if (den == 0) return "-";
+  return fmtDouble(100.0 * num / den, precision) + "%";
+}
+
+}  // namespace padfa

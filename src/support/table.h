@@ -1,0 +1,39 @@
+// Plain-text table rendering used by the benchmark harness to print the
+// paper's tables with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace padfa {
+
+/// A simple column-aligned ASCII table. Rows are vectors of cell strings;
+/// the first addRow after construction is typically the header.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+  void addSeparator();
+
+  /// Render with single-space-padded columns and '|' separators.
+  std::string render() const;
+
+  size_t rowCount() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  size_t num_cols_;
+  std::vector<Row> rows_;
+};
+
+/// Format a double with fixed precision (helper for table cells).
+std::string fmtDouble(double v, int precision = 2);
+
+/// Format a ratio as a percentage string like "42.3%".
+std::string fmtPercent(double num, double den, int precision = 1);
+
+}  // namespace padfa

@@ -1,0 +1,115 @@
+#include "symbolic/affine.h"
+
+#include <algorithm>
+
+namespace padfa {
+
+std::optional<int64_t> tryConstInt(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return static_cast<const IntLitExpr&>(e).value;
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      auto v = tryConstInt(*u.operand);
+      if (!v) return std::nullopt;
+      if (u.op == UnOp::Neg) return -*v;
+      return *v == 0 ? 1 : 0;  // logical not
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      auto l = tryConstInt(*b.lhs);
+      auto r = tryConstInt(*b.rhs);
+      if (!l || !r) return std::nullopt;
+      switch (b.op) {
+        case BinOp::Add: return *l + *r;
+        case BinOp::Sub: return *l - *r;
+        case BinOp::Mul: return *l * *r;
+        case BinOp::Div: return *r == 0 ? std::nullopt : std::optional(*l / *r);
+        case BinOp::Rem: return *r == 0 ? std::nullopt : std::optional(*l % *r);
+        case BinOp::Eq: return *l == *r ? 1 : 0;
+        case BinOp::Ne: return *l != *r ? 1 : 0;
+        case BinOp::Lt: return *l < *r ? 1 : 0;
+        case BinOp::Le: return *l <= *r ? 1 : 0;
+        case BinOp::Gt: return *l > *r ? 1 : 0;
+        case BinOp::Ge: return *l >= *r ? 1 : 0;
+        case BinOp::And: return (*l != 0 && *r != 0) ? 1 : 0;
+        case BinOp::Or: return (*l != 0 || *r != 0) ? 1 : 0;
+      }
+      return std::nullopt;
+    }
+    case ExprKind::Intrinsic: {
+      const auto& c = static_cast<const IntrinsicExpr&>(e);
+      switch (c.fn) {
+        case Intrinsic::Min:
+        case Intrinsic::Max: {
+          auto a = tryConstInt(*c.args[0]);
+          auto b = tryConstInt(*c.args[1]);
+          if (!a || !b) return std::nullopt;
+          return c.fn == Intrinsic::Min ? std::min(*a, *b) : std::max(*a, *b);
+        }
+        case Intrinsic::Abs: {
+          auto a = tryConstInt(*c.args[0]);
+          if (!a) return std::nullopt;
+          return *a < 0 ? -*a : *a;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<pb::LinExpr> tryAffine(const Expr& e, VarTable& vt) {
+  if (e.type != Type::Int) return std::nullopt;
+  if (auto k = tryConstInt(e)) return pb::LinExpr(*k);
+  switch (e.kind) {
+    case ExprKind::VarRef: {
+      const auto& v = static_cast<const VarRefExpr&>(e);
+      if (!v.decl || v.decl->isArray()) return std::nullopt;
+      pb::VarId id = vt.idFor(v.decl);
+      if (const pb::LinExpr* alias = vt.aliasOf(id)) return *alias;
+      return pb::LinExpr::var(id);
+    }
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      if (u.op != UnOp::Neg) return std::nullopt;
+      auto inner = tryAffine(*u.operand, vt);
+      if (!inner) return std::nullopt;
+      return inner->negated();
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      switch (b.op) {
+        case BinOp::Add:
+        case BinOp::Sub: {
+          auto l = tryAffine(*b.lhs, vt);
+          auto r = tryAffine(*b.rhs, vt);
+          if (!l || !r) return std::nullopt;
+          return b.op == BinOp::Add ? *l + *r : *l - *r;
+        }
+        case BinOp::Mul: {
+          // One side must fold to a constant.
+          if (auto k = tryConstInt(*b.lhs)) {
+            auto r = tryAffine(*b.rhs, vt);
+            if (!r) return std::nullopt;
+            return *r * *k;
+          }
+          if (auto k = tryConstInt(*b.rhs)) {
+            auto l = tryAffine(*b.lhs, vt);
+            if (!l) return std::nullopt;
+            return *l * *k;
+          }
+          return std::nullopt;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace padfa

@@ -1,0 +1,24 @@
+// Affine-form extraction: turn MF integer expressions into LinExprs over
+// VarTable ids when possible. Non-affine expressions (products of
+// variables, division, noise(), ...) yield nullopt and force the analysis
+// to fall back to conservative summaries or opaque predicates.
+#pragma once
+
+#include <optional>
+
+#include "lang/ast.h"
+#include "presburger/linexpr.h"
+#include "symbolic/vartable.h"
+
+namespace padfa {
+
+/// Fold an integer-typed expression to a compile-time constant if possible.
+std::optional<int64_t> tryConstInt(const Expr& e);
+
+/// Extract a LinExpr for an integer-typed expression. Scalar int variables
+/// become Param/Index terms via `vt`. Handles +, -, unary -, multiplication
+/// with a constant side, and min/max only when both sides fold to
+/// constants.
+std::optional<pb::LinExpr> tryAffine(const Expr& e, VarTable& vt);
+
+}  // namespace padfa

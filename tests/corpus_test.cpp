@@ -1,0 +1,153 @@
+// Corpus integration tests: every program compiles, analyzes, executes
+// correctly in sequential and parallel modes, and produces the gains its
+// design calls for (the shape behind Tables 1-3).
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "driver/padfa.h"
+
+namespace padfa {
+namespace {
+
+CompiledProgram compileEntry(const CorpusEntry& e, int scale = 1) {
+  DiagEngine diags;
+  auto cp = compileSource(instantiate(e, scale), diags);
+  EXPECT_TRUE(cp.has_value()) << e.name << ": " << diags.dump();
+  return std::move(*cp);
+}
+
+struct GainCount {
+  int ct = 0;
+  int rt = 0;
+};
+
+GainCount countGains(const CompiledProgram& cp) {
+  GainCount g;
+  for (const LoopNode* node : cp.loops.allLoops()) {
+    LoopOutcome o = classifyLoop(cp, node->loop);
+    if (o == LoopOutcome::PredParallelCT) ++g.ct;
+    if (o == LoopOutcome::PredParallelRT) ++g.rt;
+  }
+  return g;
+}
+
+class CorpusProgram : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusProgram, CompilesAndMatchesDesignedGain) {
+  const CorpusEntry& e = corpus()[static_cast<size_t>(GetParam())];
+  CompiledProgram cp = compileEntry(e);
+  GainCount g = countGains(cp);
+  switch (e.gain) {
+    case GainKind::None:
+      EXPECT_EQ(g.ct + g.rt, 0)
+          << e.name << " unexpectedly gained loops (ct=" << g.ct
+          << " rt=" << g.rt << ")";
+      break;
+    case GainKind::CompileTime:
+      EXPECT_GT(g.ct, 0) << e.name << " expected compile-time gains";
+      break;
+    case GainKind::RuntimeTest:
+      EXPECT_GT(g.rt, 0) << e.name << " expected run-time-test gains";
+      break;
+  }
+}
+
+TEST_P(CorpusProgram, ParallelExecutionMatchesSequential) {
+  const CorpusEntry& e = corpus()[static_cast<size_t>(GetParam())];
+  CompiledProgram cp = compileEntry(e);
+  InterpStats seq = execute(*cp.program, {});
+  InterpOptions popt;
+  popt.plans = &cp.pred;
+  popt.num_threads = 4;
+  InterpStats par = execute(*cp.program, popt);
+  // Reductions reassociate; allow tiny relative FP drift.
+  double tol = 1e-9 * (std::abs(seq.checksum) + 1.0);
+  EXPECT_NEAR(par.checksum, seq.checksum, tol) << e.name;
+  EXPECT_EQ(par.sink_count, seq.sink_count) << e.name;
+}
+
+TEST_P(CorpusProgram, BaselinePlansAlsoExecuteCorrectly) {
+  const CorpusEntry& e = corpus()[static_cast<size_t>(GetParam())];
+  CompiledProgram cp = compileEntry(e);
+  InterpStats seq = execute(*cp.program, {});
+  InterpOptions bopt;
+  bopt.plans = &cp.base;
+  bopt.num_threads = 3;
+  InterpStats par = execute(*cp.program, bopt);
+  double tol = 1e-9 * (std::abs(seq.checksum) + 1.0);
+  EXPECT_NEAR(par.checksum, seq.checksum, tol) << e.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, CorpusProgram, ::testing::Range(0, 30),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return corpus()[static_cast<size_t>(info.param)].name;
+    });
+
+TEST(Corpus, ThirtyProgramsInThreeSuites) {
+  ASSERT_EQ(corpus().size(), 30u);
+  int specfp = 0, nas = 0, perfect = 0, other = 0;
+  for (const auto& e : corpus()) {
+    if (e.suite == "Specfp95") ++specfp;
+    else if (e.suite == "NAS") ++nas;
+    else if (e.suite == "Perfect") ++perfect;
+    else ++other;
+  }
+  EXPECT_EQ(specfp, 10);
+  EXPECT_EQ(nas, 8);
+  EXPECT_EQ(perfect, 11);
+  EXPECT_EQ(other, 1);
+}
+
+TEST(Corpus, NineProgramsGainAndFiveExpectSpeedup) {
+  int gains = 0, speedups = 0;
+  for (const auto& e : corpus()) {
+    if (e.gain != GainKind::None) ++gains;
+    if (e.speedup_expected) ++speedups;
+  }
+  EXPECT_EQ(gains, 9);      // paper: additional outer loops in 9 programs
+  EXPECT_EQ(speedups, 5);   // paper: improved speedups for 5 programs
+}
+
+TEST(Corpus, InstantiateScalesToken) {
+  const CorpusEntry* e = corpusEntry("tomcatv");
+  ASSERT_NE(e, nullptr);
+  std::string s1 = instantiate(*e, 1);
+  std::string s2 = instantiate(*e, 2);
+  EXPECT_NE(s1.find("64"), std::string::npos);
+  EXPECT_NE(s2.find("128"), std::string::npos);
+  EXPECT_EQ(s1.find("$N$"), std::string::npos);
+}
+
+TEST(Corpus, AggregateShapeMatchesPaper) {
+  // Paper shape: base parallelizes over 50% of loops; predicated analysis
+  // parallelizes >40% of the inherently parallel remainder. Here we check
+  // the compile-time side: counts of loops by outcome across the corpus.
+  int total = 0, base_par = 0, gained = 0, candidates = 0;
+  for (const auto& e : corpus()) {
+    CompiledProgram cp = compileEntry(e);
+    for (const LoopNode* node : cp.loops.allLoops()) {
+      ++total;
+      switch (classifyLoop(cp, node->loop)) {
+        case LoopOutcome::BaseParallel: ++base_par; break;
+        case LoopOutcome::PredParallelCT:
+        case LoopOutcome::PredParallelRT:
+          ++gained;
+          ++candidates;
+          break;
+        case LoopOutcome::SequentialBoth:
+        case LoopOutcome::NestedInParallel:
+          ++candidates;
+          break;
+        case LoopOutcome::NotCandidate: break;
+      }
+    }
+  }
+  EXPECT_GE(total, 150) << "corpus should be loop-rich";
+  EXPECT_GT(base_par * 2, total / 2)
+      << "base system should parallelize a large fraction";
+  EXPECT_GT(gained, 0);
+}
+
+}  // namespace
+}  // namespace padfa

@@ -1,0 +1,218 @@
+// Driver-level classification tests plus analysis coverage for trickier
+// loop shapes: strided nests, triangular bounds, symbolic outer-index
+// subscripts, and multi-array interactions.
+#include <gtest/gtest.h>
+
+#include "driver/padfa.h"
+
+namespace padfa {
+namespace {
+
+CompiledProgram compileOk(std::string_view src) {
+  DiagEngine diags;
+  auto cp = compileSource(std::string(src), diags);
+  EXPECT_TRUE(cp.has_value()) << diags.dump();
+  return std::move(*cp);
+}
+
+LoopOutcome outcomeAt(const CompiledProgram& cp, uint32_t line) {
+  for (const LoopNode* node : cp.loops.allLoops())
+    if (node->loop->loc.line == line) return classifyLoop(cp, node->loop);
+  ADD_FAILURE() << "no loop at line " << line;
+  return LoopOutcome::NotCandidate;
+}
+
+TEST(Classify, AllOutcomeKindsHaveNames) {
+  EXPECT_EQ(loopOutcomeName(LoopOutcome::BaseParallel), "base-parallel");
+  EXPECT_EQ(loopOutcomeName(LoopOutcome::PredParallelCT),
+            "pred-parallel-ct");
+  EXPECT_EQ(loopOutcomeName(LoopOutcome::PredParallelRT),
+            "pred-parallel-rt");
+  EXPECT_EQ(loopOutcomeName(LoopOutcome::SequentialBoth), "sequential");
+  EXPECT_EQ(loopOutcomeName(LoopOutcome::NotCandidate), "not-candidate");
+  EXPECT_EQ(loopOutcomeName(LoopOutcome::NestedInParallel),
+            "nested-in-parallel");
+}
+
+TEST(Classify, NestedInsideParallelizedDetection) {
+  auto cp = compileOk(R"(
+proc main() {
+  real g[32, 32];
+  for i = 0 to 31 {
+    for j = 1 to 31 { g[i, j] = g[i, j-1] * 0.5 + noise(i); }
+  }
+  sink(g[3, 3]);
+}
+)");
+  EXPECT_EQ(outcomeAt(cp, 4), LoopOutcome::BaseParallel);
+  // The inner loop is a recurrence but lives inside a parallel loop.
+  EXPECT_EQ(outcomeAt(cp, 5), LoopOutcome::NestedInParallel);
+  for (const LoopNode* node : cp.loops.allLoops()) {
+    if (node->loop->loc.line == 5) {
+      EXPECT_TRUE(nestedInsideParallelized(cp, node->loop, cp.base));
+      EXPECT_TRUE(nestedInsideParallelized(cp, node->loop, cp.pred));
+    }
+    if (node->loop->loc.line == 4) {
+      EXPECT_FALSE(nestedInsideParallelized(cp, node->loop, cp.base));
+    }
+  }
+}
+
+TEST(Shapes, TriangularLoopNest) {
+  // Inner bound depends on the outer index: classic triangular iteration
+  // space; both loops write disjoint elements.
+  auto cp = compileOk(R"(
+proc main() {
+  real t[64, 64];
+  for i = 0 to 63 {
+    for j = 0 to i { t[i, j] = noise(i * 64 + j); }
+  }
+  sink(t[5, 3]);
+}
+)");
+  EXPECT_EQ(outcomeAt(cp, 4), LoopOutcome::BaseParallel);
+}
+
+TEST(Shapes, TriangularTransposeReadIsActuallyParallel) {
+  // t[i][j] (lower triangle) reads t[j][i] (upper triangle): write and
+  // read regions only meet on the diagonal within the same iteration, so
+  // the outer loop is parallel — the triangular constraints j <= i must
+  // flow through the dependence system to prove it.
+  auto cp = compileOk(R"(
+proc main() {
+  real t[32, 32];
+  for q = 0 to 31 {
+    for r = 0 to 31 { t[q, r] = noise(q * 32 + r); }
+  }
+  for i = 0 to 31 {
+    for j = 0 to i { t[i, j] = t[j, i] + 1.0; }
+  }
+  sink(t[5, 3]);
+}
+)");
+  EXPECT_EQ(outcomeAt(cp, 7), LoopOutcome::BaseParallel);
+}
+
+TEST(Shapes, TriangularRowRecurrenceSequential) {
+  // Genuine triangular flow: row i reads row i-1 within the triangle.
+  auto cp = compileOk(R"(
+proc main() {
+  real t[32, 32];
+  for q = 0 to 31 {
+    for r = 0 to 31 { t[q, r] = noise(q * 32 + r); }
+  }
+  for i = 1 to 31 {
+    for j = 0 to i { t[i, j] = t[i - 1, j] + 1.0; }
+  }
+  sink(t[5, 3]);
+}
+)");
+  EXPECT_EQ(outcomeAt(cp, 7), LoopOutcome::SequentialBoth);
+}
+
+TEST(Shapes, StridedInterleavedWrites) {
+  // Stride-3 loops writing offsets 0,1,2 never collide (gcd reasoning
+  // through the step auxiliary variables).
+  auto cp = compileOk(R"(
+proc main() {
+  real v[300];
+  for i = 0 to 297 step 3 {
+    v[i] = noise(i);
+    v[i + 1] = noise(i) * 0.5;
+    v[i + 2] = noise(i) * 0.25;
+  }
+  sink(v[7]);
+}
+)");
+  EXPECT_EQ(outcomeAt(cp, 4), LoopOutcome::BaseParallel);
+}
+
+TEST(Shapes, StridedOverlapIsDependence) {
+  // Stride 2 writing i and i+2: iteration i writes what iteration i+2
+  // also writes — output dependence (and v is live after).
+  auto cp = compileOk(R"(
+proc main() {
+  real v[300];
+  for i = 0 to 290 step 2 {
+    v[i] = noise(i);
+    v[i + 2] = noise(i) * 0.5;
+  }
+  sink(v[8]);
+}
+)");
+  LoopOutcome o = outcomeAt(cp, 4);
+  EXPECT_TRUE(o == LoopOutcome::SequentialBoth ||
+              o == LoopOutcome::BaseParallel)
+      << loopOutcomeName(o);
+  // Writes of distinct iterations overlap; the write region varies per
+  // iteration, so last-value copy-out privatization is not applicable.
+  EXPECT_EQ(o, LoopOutcome::SequentialBoth);
+}
+
+TEST(Shapes, OuterIndexInInnerSubscript) {
+  // Row-wise scratch: inner writes help[j] for the row, outer loops
+  // carry i only through values, not storage.
+  auto cp = compileOk(R"(
+proc main() {
+  real g[40, 16];
+  real help[16];
+  for i = 0 to 39 {
+    for j = 0 to 15 { help[j] = noise(i * 16 + j); }
+    for j = 0 to 15 { g[i, j] = help[j] * 2.0; }
+  }
+  sink(g[3, 3]);
+}
+)");
+  EXPECT_EQ(outcomeAt(cp, 5), LoopOutcome::BaseParallel);
+}
+
+TEST(Shapes, TwoArraysSwapStaysSequential) {
+  // Ping-pong through a scalar-free cycle: a reads b, b reads a shifted —
+  // the b write feeding next iteration's a read is a flow dependence.
+  auto cp = compileOk(R"(
+proc main() {
+  real a[100];
+  real b[100];
+  for q = 0 to 99 { a[q] = noise(q); b[q] = noise(q + 1000); }
+  for i = 1 to 99 {
+    a[i] = b[i - 1] * 0.5;
+    b[i] = a[i - 1] * 0.5;
+  }
+  sink(a[50] + b[50]);
+}
+)");
+  EXPECT_EQ(outcomeAt(cp, 6), LoopOutcome::SequentialBoth);
+}
+
+TEST(Shapes, ReadOnlySharedArrayIsFine) {
+  auto cp = compileOk(R"(
+proc main() {
+  real table[64];
+  real out[200];
+  for q = 0 to 63 { table[q] = noise(q); }
+  for i = 0 to 199 {
+    out[i] = table[i % 64] * 2.0;
+  }
+  sink(out[9]);
+}
+)");
+  // Non-affine read subscript (modulo) of a read-only array must not
+  // block parallelization: only writes matter for the candidate array.
+  EXPECT_EQ(outcomeAt(cp, 6), LoopOutcome::BaseParallel);
+}
+
+TEST(Shapes, WriteThroughModuloIsConservative) {
+  auto cp = compileOk(R"(
+proc main() {
+  real out[64];
+  for i = 0 to 199 {
+    out[i % 64] = noise(i);
+  }
+  sink(out[9]);
+}
+)");
+  EXPECT_EQ(outcomeAt(cp, 4), LoopOutcome::SequentialBoth);
+}
+
+}  // namespace
+}  // namespace padfa

@@ -1,0 +1,127 @@
+// Frontend robustness: every malformed input must produce a diagnostic
+// (never a crash, never a silent acceptance), and random garbage must be
+// rejected cleanly.
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "lang/sema.h"
+
+namespace padfa {
+namespace {
+
+// Returns true iff the source was cleanly REJECTED with >= 1 error.
+bool rejected(std::string_view src) {
+  DiagEngine diags;
+  auto p = parseProgram(src, diags);
+  if (!p) return diags.hasErrors();
+  bool ok = analyze(*p, diags);
+  return !ok && diags.hasErrors();
+}
+
+bool accepted(std::string_view src) {
+  DiagEngine diags;
+  auto p = parseProgram(src, diags);
+  return p && analyze(*p, diags);
+}
+
+TEST(Robustness, MalformedTopLevel) {
+  EXPECT_TRUE(rejected("int x;"));
+  EXPECT_TRUE(rejected("proc"));
+  EXPECT_TRUE(rejected("proc main"));
+  EXPECT_TRUE(rejected("proc main("));
+  EXPECT_TRUE(rejected("proc main() {"));
+  EXPECT_TRUE(rejected("proc main() } {"));
+  EXPECT_TRUE(rejected("proc 123() { }"));
+}
+
+TEST(Robustness, MalformedStatements) {
+  EXPECT_TRUE(rejected("proc main() { x }"));
+  EXPECT_TRUE(rejected("proc main() { int x; x = ; }"));
+  EXPECT_TRUE(rejected("proc main() { int x; x = 1 }"));  // missing ';'
+  EXPECT_TRUE(rejected("proc main() { if x > 1 { } }"));
+  EXPECT_TRUE(rejected("proc main() { for = 0 to 3 { } }"));
+  EXPECT_TRUE(rejected("proc main() { for i = 0 3 { } }"));
+  EXPECT_TRUE(rejected("proc main() { return }"));
+}
+
+TEST(Robustness, MalformedExpressions) {
+  EXPECT_TRUE(rejected("proc main() { int x; x = 1 + ; }"));
+  EXPECT_TRUE(rejected("proc main() { int x; x = (1 + 2; }"));
+  EXPECT_TRUE(rejected("proc main() { int x; x = 1 ++ 2; }"));
+  EXPECT_TRUE(rejected("proc main() { real a[4]; a[1 = 0.0; }"));
+  EXPECT_TRUE(rejected("proc main() { int x; x = min(1); }"));
+  EXPECT_TRUE(rejected("proc main() { int x; x = noise(); }"));
+}
+
+TEST(Robustness, SemanticRejections) {
+  EXPECT_TRUE(rejected("proc main() { sink(); }"));
+  EXPECT_TRUE(rejected("proc main() { sink(1, 2); }"));
+  EXPECT_TRUE(rejected("proc f(int a) { } proc main() { f(); }"));
+  EXPECT_TRUE(rejected("proc f(int a) { } proc main() { f(1, 2); }"));
+  EXPECT_TRUE(rejected(
+      "proc f(real v[4]) { } proc main() { int x; x = 0; f(x); }"));
+  EXPECT_TRUE(rejected(
+      "proc f(int x) { } proc main() { real a[4]; f(a); }"));
+  EXPECT_TRUE(rejected("proc main() { real a[2]; real a2[2]; a2[0] = a; }"));
+  EXPECT_TRUE(rejected("proc f() { } proc f() { } proc main() { }"));
+  EXPECT_TRUE(rejected("proc main() { real x[3.5]; }"));
+}
+
+TEST(Robustness, ValidEdgeCasesAccepted) {
+  EXPECT_TRUE(accepted("proc main() { }"));
+  EXPECT_TRUE(accepted("proc main() { return; }"));
+  EXPECT_TRUE(accepted("proc main() { for i = 5 to 4 { } }"));
+  EXPECT_TRUE(accepted(
+      "proc main() { real a[1]; a[0] = 1.0e3; sink(a[0]); }"));
+  EXPECT_TRUE(accepted("proc main() { int x; x = - - 3; sink(x); }"));
+  EXPECT_TRUE(accepted("proc helper() { } proc main() { helper(); }"));
+}
+
+// Fuzz-ish: random token soup never crashes the frontend; it is either
+// (rarely) a valid program or rejected with a diagnostic.
+TEST(Robustness, RandomTokenSoupNeverCrashes) {
+  const char* tokens[] = {"proc", "main", "(", ")", "{", "}", "int",
+                          "real", "for", "if", "else", "to", "step", "x",
+                          "y", "1", "2.5", "=", "+", "-", "*", "/", "[",
+                          "]", ";", ",", "<", ">", "==", "&&", "||", "!"};
+  uint64_t state = 12345;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string src = "proc main() { ";
+    int n = 3 + static_cast<int>(next() % 40);
+    for (int i = 0; i < n; ++i) {
+      src += tokens[next() % (sizeof(tokens) / sizeof(tokens[0]))];
+      src += ' ';
+    }
+    src += " }";
+    DiagEngine diags;
+    auto p = parseProgram(src, diags);
+    if (p) analyze(*p, diags);  // must not crash either way
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, DeepNestingParses) {
+  std::string src = "proc main() { int x; x = 0;\n";
+  for (int i = 0; i < 40; ++i)
+    src += "if (x < " + std::to_string(i) + ") {\n";
+  src += "x = 1;\n";
+  for (int i = 0; i < 40; ++i) src += "}\n";
+  src += "}";
+  EXPECT_TRUE(accepted(src));
+}
+
+TEST(Robustness, LongExpressionChains) {
+  std::string src = "proc main() { real x; x = 0.0";
+  for (int i = 0; i < 300; ++i) src += " + " + std::to_string(i) + ".0";
+  src += "; sink(x); }";
+  EXPECT_TRUE(accepted(src));
+}
+
+}  // namespace
+}  // namespace padfa

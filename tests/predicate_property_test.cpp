@@ -1,0 +1,193 @@
+// Property tests for the predicate lattice: implication and
+// simplification are validated against brute-force truth evaluation over
+// a small integer grid.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "predicate/pred.h"
+
+namespace padfa {
+namespace {
+
+struct Rand {
+  uint64_t s;
+  explicit Rand(uint64_t seed) : s(seed * 0x2545f4914f6cdd1dull + 7) {}
+  uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  int range(int lo, int hi) {
+    return lo + static_cast<int>(next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+};
+
+// Generates a random condition string over int scalars d and t.
+std::string randomCondition(Rand& r, int depth) {
+  if (depth <= 0 || r.range(0, 2) == 0) {
+    const char* var = r.range(0, 1) ? "d" : "t";
+    const char* ops[] = {"<", "<=", ">", ">=", "==", "!="};
+    const char* op = ops[r.range(0, 5)];
+    int k = r.range(-3, 3);
+    switch (r.range(0, 2)) {
+      case 0:
+        return std::string(var) + " " + op + " " + std::to_string(k);
+      case 1:
+        return std::string("d ") + op + " t";
+      default:
+        return std::string(var) + " + " + std::to_string(r.range(0, 2)) +
+               " " + op + " " + std::to_string(k);
+    }
+  }
+  std::string l = randomCondition(r, depth - 1);
+  std::string rr = randomCondition(r, depth - 1);
+  switch (r.range(0, 2)) {
+    case 0: return "(" + l + ") && (" + rr + ")";
+    case 1: return "(" + l + ") || (" + rr + ")";
+    default: return "!(" + l + ")";
+  }
+}
+
+class PredProperty : public ::testing::TestWithParam<int> {
+ protected:
+  // Parse two conditions into predicates sharing a scalar environment.
+  void build(const std::string& c1, const std::string& c2) {
+    std::string src = "proc main() { int d; int t; d = 0; t = 0;\n"
+                      "if (" + c1 + ") { d = 1; }\n"
+                      "if (" + c2 + ") { t = 1; }\n}";
+    DiagEngine diags;
+    program_ = parseProgram(src, diags);
+    ASSERT_NE(program_, nullptr) << diags.dump() << "\n" << src;
+    ASSERT_TRUE(analyze(*program_, diags)) << diags.dump();
+    vt_ = std::make_unique<VarTable>(&program_->interner);
+    auto& stmts = program_->procs[0]->body->stmts;
+    p_ = Pred::fromCondition(*static_cast<IfStmt&>(*stmts[2]).cond,
+                             program_->interner);
+    q_ = Pred::fromCondition(*static_cast<IfStmt&>(*stmts[3]).cond,
+                             program_->interner);
+  }
+
+  bool evalAt(const Pred& p, int64_t d, int64_t t) {
+    return p.evaluate([&](const Expr& e) -> double {
+      // Tiny recursive evaluator for the atom expressions.
+      std::function<double(const Expr&)> ev = [&](const Expr& x) -> double {
+        switch (x.kind) {
+          case ExprKind::IntLit:
+            return static_cast<double>(
+                static_cast<const IntLitExpr&>(x).value);
+          case ExprKind::VarRef: {
+            std::string_view n = program_->interner.str(
+                static_cast<const VarRefExpr&>(x).name);
+            return n == "d" ? static_cast<double>(d)
+                            : static_cast<double>(t);
+          }
+          case ExprKind::Binary: {
+            const auto& b = static_cast<const BinaryExpr&>(x);
+            double l = ev(*b.lhs), r = ev(*b.rhs);
+            switch (b.op) {
+              case BinOp::Add: return l + r;
+              case BinOp::Sub: return l - r;
+              case BinOp::Mul: return l * r;
+              default: ADD_FAILURE(); return 0;
+            }
+          }
+          case ExprKind::Unary:
+            return -ev(*static_cast<const UnaryExpr&>(x).operand);
+          default:
+            ADD_FAILURE() << "unexpected atom expr";
+            return 0;
+        }
+      };
+      return ev(e);
+    });
+  }
+
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<VarTable> vt_;
+  Pred p_, q_;
+};
+
+TEST_P(PredProperty, ImpliesNeverLies) {
+  Rand r(static_cast<uint64_t>(GetParam()) + 3);
+  build(randomCondition(r, 2), randomCondition(r, 2));
+  bool claimed = p_.implies(q_, *vt_);
+  if (!claimed) return;  // conservative "no" is always allowed
+  for (int64_t d = -5; d <= 5; ++d) {
+    for (int64_t t = -5; t <= 5; ++t) {
+      if (evalAt(p_, d, t)) {
+        EXPECT_TRUE(evalAt(q_, d, t))
+            << "implies() lied at d=" << d << " t=" << t << "\n p = "
+            << p_.str(program_->interner)
+            << "\n q = " << q_.str(program_->interner);
+      }
+    }
+  }
+}
+
+TEST_P(PredProperty, NegationComplementsEvaluation) {
+  Rand r(static_cast<uint64_t>(GetParam()) + 77);
+  build(randomCondition(r, 2), "d == 0");
+  Pred np = !p_;
+  for (int64_t d = -4; d <= 4; ++d)
+    for (int64_t t = -4; t <= 4; ++t)
+      EXPECT_NE(evalAt(p_, d, t), evalAt(np, d, t))
+          << p_.str(program_->interner) << " at d=" << d << " t=" << t;
+}
+
+TEST_P(PredProperty, ConjunctionDisjunctionMatchEvaluation) {
+  Rand r(static_cast<uint64_t>(GetParam()) + 991);
+  build(randomCondition(r, 1), randomCondition(r, 1));
+  Pred andp = p_ && q_;
+  Pred orp = p_ || q_;
+  for (int64_t d = -4; d <= 4; ++d) {
+    for (int64_t t = -4; t <= 4; ++t) {
+      bool ep = evalAt(p_, d, t), eq = evalAt(q_, d, t);
+      EXPECT_EQ(evalAt(andp, d, t), ep && eq);
+      EXPECT_EQ(evalAt(orp, d, t), ep || eq);
+    }
+  }
+}
+
+TEST_P(PredProperty, SimplifyPreservesSemantics) {
+  Rand r(static_cast<uint64_t>(GetParam()) + 4242);
+  build(randomCondition(r, 3), "d == 0");
+  Pred s = p_.simplify(*vt_);
+  for (int64_t d = -5; d <= 5; ++d)
+    for (int64_t t = -5; t <= 5; ++t)
+      EXPECT_EQ(evalAt(p_, d, t), evalAt(s, d, t))
+          << "simplify changed semantics of "
+          << p_.str(program_->interner) << " -> "
+          << s.str(program_->interner) << " at d=" << d << " t=" << t;
+}
+
+TEST_P(PredProperty, WeakenAtomsIsDirectional) {
+  Rand r(static_cast<uint64_t>(GetParam()) + 31337);
+  build(randomCondition(r, 2), "d == 0");
+  // Weakening away `t` to true must yield a predicate implied by p.
+  std::vector<const VarDecl*> vars;
+  p_.collectReferencedVars(vars);
+  std::vector<const VarDecl*> tvars;
+  for (const VarDecl* v : vars)
+    if (program_->interner.str(v->name) == "t") tvars.push_back(v);
+  Pred up = p_.weakenAtoms(tvars, /*toTrue=*/true);
+  Pred down = p_.weakenAtoms(tvars, /*toTrue=*/false);
+  for (int64_t d = -5; d <= 5; ++d) {
+    for (int64_t t = -5; t <= 5; ++t) {
+      if (evalAt(p_, d, t)) {
+        EXPECT_TRUE(evalAt(up, d, t));
+      }
+      if (evalAt(down, d, t)) {
+        EXPECT_TRUE(evalAt(p_, d, t));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredProperty, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace padfa

@@ -1,0 +1,231 @@
+// Tests for the predicate lattice: construction from MF conditions,
+// boolean algebra simplifications, implication via the affine domain,
+// substitution, and run-time evaluation.
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "predicate/pred.h"
+#include "symbolic/affine.h"
+
+namespace padfa {
+namespace {
+
+// Test fixture: parses a program whose `main` declares scalars and a
+// sequence of `if (<cond>) { t = 1; }` statements; cond i is accessible.
+class PredTest : public ::testing::Test {
+ protected:
+  // Builds predicates from condition source strings by wrapping them in a
+  // program with int scalars d, n, m, x and real r.
+  void build(const std::vector<std::string>& conds) {
+    std::string src = "proc main() { int d; int n; int m; int x; real r;\n"
+                      "d = 0; n = 0; m = 0; x = 0; r = 0.0;\n";
+    for (const auto& c : conds) src += "if (" + c + ") { d = 1; }\n";
+    src += "}";
+    DiagEngine diags;
+    program_ = parseProgram(src, diags);
+    ASSERT_NE(program_, nullptr) << diags.dump();
+    ASSERT_TRUE(analyze(*program_, diags)) << diags.dump();
+    vt_ = std::make_unique<VarTable>(&program_->interner);
+    conds_.clear();
+    auto& stmts = program_->procs[0]->body->stmts;
+    for (size_t i = 5; i < stmts.size(); ++i) {
+      auto& ifs = static_cast<IfStmt&>(*stmts[i]);
+      conds_.push_back(ifs.cond.get());
+    }
+    ASSERT_EQ(conds_.size(), conds.size());
+  }
+
+  Pred pred(size_t i) {
+    return Pred::fromCondition(*conds_.at(i), program_->interner);
+  }
+
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<VarTable> vt_;
+  std::vector<const Expr*> conds_;
+};
+
+TEST_F(PredTest, TrueFalseBasics) {
+  EXPECT_TRUE(Pred::always().isTrue());
+  EXPECT_TRUE(Pred::never().isFalse());
+  EXPECT_TRUE((!Pred::always()).isFalse());
+  EXPECT_TRUE((Pred::always() && Pred::never()).isFalse());
+  EXPECT_TRUE((Pred::always() || Pred::never()).isTrue());
+}
+
+TEST_F(PredTest, ConstantConditionsFold) {
+  build({"1 < 2", "2 < 1"});
+  EXPECT_TRUE(pred(0).isTrue());
+  EXPECT_TRUE(pred(1).isFalse());
+}
+
+TEST_F(PredTest, ComplementAnnihilatesInAnd) {
+  build({"d > 5", "d <= 5"});
+  Pred p = pred(0), q = pred(1);
+  EXPECT_TRUE((p && q).isFalse());
+  EXPECT_TRUE((p || q).isTrue());
+}
+
+TEST_F(PredTest, NegationIsInvolutive) {
+  build({"d > 5 && n < 3"});
+  Pred p = pred(0);
+  EXPECT_EQ((!(!p)).key(), p.key());
+}
+
+TEST_F(PredTest, DeMorgan) {
+  build({"d > 5 && n < 3", "d <= 5 || n >= 3"});
+  EXPECT_EQ((!pred(0)).key(), pred(1).key());
+}
+
+TEST_F(PredTest, IdempotentAnd) {
+  build({"d > 5"});
+  Pred p = pred(0);
+  EXPECT_EQ((p && p).key(), p.key());
+}
+
+TEST_F(PredTest, StructuralImplication) {
+  build({"d > 5 && n < 3", "d > 5"});
+  EXPECT_TRUE(pred(0).implies(pred(1), *vt_));
+  EXPECT_FALSE(pred(1).implies(pred(0), *vt_));
+}
+
+TEST_F(PredTest, AffineImplicationStrictBound) {
+  // d >= 7 implies d >= 2.
+  build({"d >= 7", "d >= 2"});
+  EXPECT_TRUE(pred(0).implies(pred(1), *vt_));
+  EXPECT_FALSE(pred(1).implies(pred(0), *vt_));
+}
+
+TEST_F(PredTest, AffineImplicationWithTwoVars) {
+  // d >= n && n >= 4  =>  d >= 3.
+  build({"d >= n && n >= 4", "d >= 3"});
+  EXPECT_TRUE(pred(0).implies(pred(1), *vt_));
+}
+
+TEST_F(PredTest, EqualityImplication) {
+  build({"d == 4", "d >= 4", "d <= 4"});
+  EXPECT_TRUE(pred(0).implies(pred(1), *vt_));
+  EXPECT_TRUE(pred(0).implies(pred(2), *vt_));
+  EXPECT_FALSE(pred(1).implies(pred(0), *vt_));
+}
+
+TEST_F(PredTest, ImpliedEqualityFromBounds) {
+  // d >= 4 && d <= 4  =>  d == 4 (needs both sides of != infeasible).
+  build({"d >= 4 && d <= 4", "d == 4"});
+  EXPECT_TRUE(pred(0).implies(pred(1), *vt_));
+}
+
+TEST_F(PredTest, OrImplication) {
+  build({"d > 5", "d > 5 || n < 3"});
+  EXPECT_TRUE(pred(0).implies(pred(1), *vt_));
+}
+
+TEST_F(PredTest, NonAffineAtomsAreOpaqueButComparable) {
+  // Same non-affine condition (real compare) twice: equal keys.
+  build({"r > 1.5", "r > 1.5"});
+  EXPECT_EQ(pred(0).key(), pred(1).key());
+  EXPECT_TRUE(pred(0).implies(pred(1), *vt_));
+}
+
+TEST_F(PredTest, FlagConditionBecomesNeZeroAtom) {
+  build({"x"});
+  Pred p = pred(0);
+  EXPECT_EQ(p.kind(), PredKind::Atom);
+  EXPECT_EQ(p.node().op, AtomOp::Eq);
+  EXPECT_TRUE(p.node().negated);
+}
+
+TEST_F(PredTest, AffineUpperBoundCollectsConjuncts) {
+  build({"d >= 2 && n <= 10"});
+  pb::System sys = pred(0).affineUpperBound(*vt_);
+  EXPECT_EQ(sys.size(), 2u);
+}
+
+TEST_F(PredTest, AffineUpperBoundIgnoresDisjunction) {
+  build({"d >= 2 || n <= 10"});
+  pb::System sys = pred(0).affineUpperBound(*vt_);
+  EXPECT_TRUE(sys.trivial());
+}
+
+TEST_F(PredTest, EvaluateAtoms) {
+  build({"d >= 2 && n < 5"});
+  // d is the first declared scalar; evaluate with d=3, n=4 and d=3, n=7.
+  auto evalWith = [&](double dval, double nval) {
+    return pred(0).evaluate([&](const Expr& e) -> double {
+      if (e.kind == ExprKind::VarRef) {
+        const auto& v = static_cast<const VarRefExpr&>(e);
+        std::string_view nm = program_->interner.str(v.name);
+        if (nm == "d") return dval;
+        if (nm == "n") return nval;
+        return 0;
+      }
+      if (e.kind == ExprKind::IntLit)
+        return static_cast<double>(static_cast<const IntLitExpr&>(e).value);
+      ADD_FAILURE() << "unexpected expr kind in atom";
+      return 0;
+    });
+  };
+  EXPECT_TRUE(evalWith(3, 4));
+  EXPECT_FALSE(evalWith(3, 7));
+  EXPECT_FALSE(evalWith(1, 4));
+}
+
+TEST_F(PredTest, AtomCountMeasuresTestCost) {
+  build({"d >= 2 && n < 5 || m == 3"});
+  EXPECT_EQ(pred(0).atomCount(), 3u);
+  EXPECT_EQ(Pred::always().atomCount(), 0u);
+}
+
+TEST_F(PredTest, MentionsAnyOf) {
+  build({"d >= 2"});
+  Pred p = pred(0);
+  std::vector<const VarDecl*> all;
+  p.collectReferencedVars(all);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(p.mentionsAnyOf(all));
+  EXPECT_FALSE(Pred::always().mentionsAnyOf(all));
+}
+
+TEST_F(PredTest, SubstituteRewritesAtoms) {
+  build({"d >= 2", "n >= 2"});
+  // Substitute d -> n: predicate 0 should become predicate 1.
+  std::vector<const VarDecl*> dvars;
+  pred(0).collectReferencedVars(dvars);
+  ASSERT_EQ(dvars.size(), 1u);
+  std::vector<const VarDecl*> nvars;
+  pred(1).collectReferencedVars(nvars);
+  ASSERT_EQ(nvars.size(), 1u);
+  VarRefExpr nref(nvars[0]->name);
+  nref.decl = const_cast<VarDecl*>(nvars[0]);
+  nref.type = Type::Int;
+  Pred sub = pred(0).substitute(
+      [&](const VarDecl* dcl) -> const Expr* {
+        return dcl == dvars[0] ? &nref : nullptr;
+      },
+      program_->interner);
+  EXPECT_EQ(sub.key(), pred(1).key());
+}
+
+TEST_F(PredTest, FromAffineGE0RendersPredicate) {
+  build({"d >= 2"});
+  // Build LinExpr d - 2 over the VarTable and render it.
+  std::vector<const VarDecl*> dvars;
+  pred(0).collectReferencedVars(dvars);
+  pb::VarId d = vt_->idFor(dvars[0]);
+  pb::LinExpr e = pb::LinExpr::var(d) + pb::LinExpr(-2);
+  Pred rendered = Pred::fromAffineGE0(e, *vt_, program_->interner);
+  EXPECT_FALSE(rendered.isFalse());
+  // Semantically equal to d >= 2: mutual implication.
+  EXPECT_TRUE(rendered.implies(pred(0), *vt_));
+  EXPECT_TRUE(pred(0).implies(rendered, *vt_));
+}
+
+TEST_F(PredTest, StrRendering) {
+  build({"d >= 2 && n != 3"});
+  std::string s = pred(0).str(program_->interner);
+  EXPECT_NE(s.find("&&"), std::string::npos);
+  EXPECT_NE(s.find("!="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace padfa

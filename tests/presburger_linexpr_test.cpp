@@ -1,0 +1,114 @@
+// Unit tests for pb::LinExpr arithmetic and normalization invariants.
+#include <gtest/gtest.h>
+
+#include "presburger/linexpr.h"
+
+namespace padfa::pb {
+namespace {
+
+TEST(LinExpr, ConstantOnly) {
+  LinExpr e(7);
+  EXPECT_TRUE(e.isConstant());
+  EXPECT_EQ(e.constant(), 7);
+  EXPECT_EQ(e.evaluate({}), 7);
+}
+
+TEST(LinExpr, VarConstruction) {
+  LinExpr e = LinExpr::var(3, 2);
+  EXPECT_EQ(e.coeff(3), 2);
+  EXPECT_EQ(e.coeff(2), 0);
+  EXPECT_EQ(e.numTerms(), 1u);
+}
+
+TEST(LinExpr, ZeroCoeffVarIsDropped) {
+  LinExpr e = LinExpr::var(1, 0);
+  EXPECT_TRUE(e.isConstant());
+}
+
+TEST(LinExpr, AddMergesTerms) {
+  LinExpr a = LinExpr::var(0, 2);
+  LinExpr b = LinExpr::var(0, 3);
+  a += b;
+  EXPECT_EQ(a.coeff(0), 5);
+  EXPECT_EQ(a.numTerms(), 1u);
+}
+
+TEST(LinExpr, AddCancellationRemovesTerm) {
+  LinExpr a = LinExpr::var(0, 2);
+  a += LinExpr::var(0, -2);
+  EXPECT_TRUE(a.isConstant());
+  EXPECT_EQ(a.constant(), 0);
+}
+
+TEST(LinExpr, SubtractAndScale) {
+  LinExpr a = LinExpr::var(0) + LinExpr::var(1, 4) + LinExpr(5);
+  LinExpr b = LinExpr::var(1) + LinExpr(2);
+  LinExpr c = a - b;
+  EXPECT_EQ(c.coeff(0), 1);
+  EXPECT_EQ(c.coeff(1), 3);
+  EXPECT_EQ(c.constant(), 3);
+  c *= -2;
+  EXPECT_EQ(c.coeff(0), -2);
+  EXPECT_EQ(c.coeff(1), -6);
+  EXPECT_EQ(c.constant(), -6);
+}
+
+TEST(LinExpr, TermsStaySortedByVarId) {
+  LinExpr e;
+  e.addTerm(5, 1);
+  e.addTerm(1, 2);
+  e.addTerm(3, 3);
+  ASSERT_EQ(e.numTerms(), 3u);
+  EXPECT_EQ(e.terms()[0].first, 1u);
+  EXPECT_EQ(e.terms()[1].first, 3u);
+  EXPECT_EQ(e.terms()[2].first, 5u);
+}
+
+TEST(LinExpr, SubstituteExpandsReplacement) {
+  // e = 2x + y + 1; substitute x := z - 3  ->  2z + y - 5.
+  LinExpr e = LinExpr::var(0, 2) + LinExpr::var(1) + LinExpr(1);
+  LinExpr repl = LinExpr::var(2) + LinExpr(-3);
+  e.substitute(0, repl);
+  EXPECT_EQ(e.coeff(0), 0);
+  EXPECT_EQ(e.coeff(1), 1);
+  EXPECT_EQ(e.coeff(2), 2);
+  EXPECT_EQ(e.constant(), -5);
+}
+
+TEST(LinExpr, SubstituteAbsentVarIsNoop) {
+  LinExpr e = LinExpr::var(1) + LinExpr(4);
+  LinExpr before = e;
+  e.substitute(0, LinExpr(100));
+  EXPECT_EQ(e, before);
+}
+
+TEST(LinExpr, CoeffGcd) {
+  LinExpr e = LinExpr::var(0, 6) + LinExpr::var(1, -9) + LinExpr(5);
+  EXPECT_EQ(e.coeffGcd(), 3);
+  EXPECT_EQ(LinExpr(7).coeffGcd(), 0);
+}
+
+TEST(LinExpr, DivideFloorConstantRoundsDown) {
+  LinExpr e = LinExpr::var(0, 4) + LinExpr(-5);
+  e.divideFloorConstant(4);
+  EXPECT_EQ(e.coeff(0), 1);
+  EXPECT_EQ(e.constant(), -2);  // floor(-5/4) = -2
+  LinExpr f = LinExpr::var(0, 4) + LinExpr(5);
+  f.divideFloorConstant(4);
+  EXPECT_EQ(f.constant(), 1);  // floor(5/4) = 1
+}
+
+TEST(LinExpr, Evaluate) {
+  LinExpr e = LinExpr::var(0, 2) + LinExpr::var(2, -1) + LinExpr(10);
+  std::vector<int64_t> vals = {3, 99, 4};
+  EXPECT_EQ(e.evaluate(vals), 2 * 3 - 4 + 10);
+}
+
+TEST(LinExpr, StrRendering) {
+  LinExpr e = LinExpr::var(0, 1) + LinExpr::var(1, -2) + LinExpr(3);
+  EXPECT_EQ(e.str(), "v0 - 2*v1 + 3");
+  EXPECT_EQ(LinExpr(0).str(), "0");
+}
+
+}  // namespace
+}  // namespace padfa::pb

@@ -1,0 +1,163 @@
+// Property tests for Fourier–Motzkin projection and the exactness
+// tracking the analysis's soundness relies on: projections are always
+// supersets of the true integer shadow, and exact-flagged projections are
+// exactly it.
+#include <gtest/gtest.h>
+
+#include "presburger/set.h"
+
+namespace padfa::pb {
+namespace {
+
+LinExpr X() { return LinExpr::var(0); }
+LinExpr Y() { return LinExpr::var(1); }
+LinExpr C(int64_t k) { return LinExpr(k); }
+
+// Deterministic pseudo-random generator.
+struct Rand {
+  uint64_t s;
+  explicit Rand(uint64_t seed) : s(seed * 0x9e3779b9u + 1) {}
+  uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+};
+
+System randomSystem(Rand& r, int64_t box) {
+  System s;
+  // Bounding box keeps brute force cheap.
+  s.addGE0(X() + C(box));
+  s.addGE0(C(box) - X());
+  s.addGE0(Y() + C(box));
+  s.addGE0(C(box) - Y());
+  int nc = static_cast<int>(r.range(1, 4));
+  for (int i = 0; i < nc; ++i) {
+    LinExpr e = X() * r.range(-3, 3) + Y() * r.range(-3, 3) + C(r.range(-6, 6));
+    if (r.range(0, 3) == 0)
+      s.addEQ0(e);
+    else
+      s.addGE0(e);
+  }
+  return s;
+}
+
+class ProjectionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProjectionSweep, ProjectionIsSupersetOfIntegerShadow) {
+  Rand r(static_cast<uint64_t>(GetParam()) + 11);
+  constexpr int64_t kBox = 5;
+  System s = randomSystem(r, kBox);
+  System proj = s;
+  bool exact = true;
+  ASSERT_TRUE(proj.projectOntoTracked([](VarId v) { return v == 0; },
+                                      exact) ||
+              true);  // infeasible projection is fine: handled below
+  // Brute-force shadow: which x values have some integer y?
+  for (int64_t x = -kBox; x <= kBox; ++x) {
+    bool has_y = false;
+    for (int64_t y = -kBox; y <= kBox; ++y)
+      if (s.contains({x, y})) has_y = true;
+    if (has_y) {
+      EXPECT_TRUE(proj.contains({x, 0}))
+          << "x=" << x << " in shadow but excluded by projection of "
+          << s.str();
+    }
+  }
+}
+
+TEST_P(ProjectionSweep, ExactProjectionEqualsIntegerShadow) {
+  Rand r(static_cast<uint64_t>(GetParam()) + 101);
+  constexpr int64_t kBox = 5;
+  System s = randomSystem(r, kBox);
+  System proj = s;
+  bool exact = true;
+  if (!proj.projectOntoTracked([](VarId v) { return v == 0; }, exact))
+    return;  // infeasibility detected: nothing to compare
+  if (!exact) return;  // only the exact claim is checked here
+  for (int64_t x = -kBox - 2; x <= kBox + 2; ++x) {
+    bool has_y = false;
+    for (int64_t y = -kBox - 2; y <= kBox + 2; ++y)
+      if (s.contains({x, y})) has_y = true;
+    EXPECT_EQ(proj.contains({x, 0}), has_y)
+        << "x=" << x << " system " << s.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionSweep, ::testing::Range(0, 120));
+
+TEST(Projection, StridedEqualityIsInexact) {
+  // { x == 2y, 0 <= y <= 5 }: integer shadow of x is the even numbers
+  // 0..10; the rational projection is [0, 10]. Exactness must be cleared.
+  System s;
+  s.addEQ0(X() - Y() * 2);
+  s.addGE0(Y());
+  s.addGE0(C(5) - Y());
+  bool exact = true;
+  ASSERT_TRUE(s.projectOntoTracked([](VarId v) { return v == 0; }, exact));
+  EXPECT_FALSE(exact);
+  EXPECT_TRUE(s.contains({4, 0}));
+  // Rational shadow includes odd values — that is precisely why the
+  // exact flag matters (must-write promotion drops such pieces).
+  EXPECT_TRUE(s.contains({3, 0}));
+}
+
+TEST(Projection, UnitCoefficientChainIsExact) {
+  // { 0 <= y <= 9, y <= x <= y + 1 }: all coefficients on y are unit.
+  System s;
+  s.addGE0(Y());
+  s.addGE0(C(9) - Y());
+  s.addGE0(X() - Y());
+  s.addGE0(Y() + C(1) - X());
+  bool exact = true;
+  ASSERT_TRUE(s.projectOntoTracked([](VarId v) { return v == 0; }, exact));
+  EXPECT_TRUE(exact);
+  for (int64_t x = 0; x <= 10; ++x) EXPECT_TRUE(s.contains({x, 0}));
+  EXPECT_FALSE(s.contains({-1, 0}));
+  EXPECT_FALSE(s.contains({11, 0}));
+}
+
+TEST(SetCap, UnionBeyondCapMarksInexact) {
+  Set s;
+  for (int64_t k = 0; k < 2 * static_cast<int64_t>(Set::kMaxPieces); ++k) {
+    System piece;
+    piece.addEQ0(X() - C(3 * k));  // non-coalescable singletons
+    s.unionWith(Set(std::move(piece)));
+  }
+  EXPECT_FALSE(s.exact());
+  // Still a sound over-approximation: every singleton is present.
+  EXPECT_TRUE(s.contains({0}));
+  EXPECT_TRUE(s.contains({3}));
+}
+
+TEST(SetCap, SubtractKeepsSoundnessUnderSplitPressure) {
+  // Minuend: a long interval; subtrahend: many scattered points. The
+  // result may over-approximate (inexact) but must never lose minuend
+  // points that were not subtracted.
+  System base;
+  base.addGE0(X());
+  base.addGE0(C(499) - X());
+  Set minuend{base};
+  Set sub;
+  for (int64_t k = 0; k < 40; ++k) {
+    System piece;
+    piece.addEQ0(X() - C(k * 12));
+    sub.unionWith(Set(std::move(piece)));
+  }
+  Set diff = minuend.subtract(sub);
+  for (int64_t x = 0; x <= 499; ++x) {
+    bool removed = (x % 12 == 0) && x <= 468;
+    if (!removed) {
+      EXPECT_TRUE(diff.contains({x})) << x;
+    } else if (diff.exact()) {
+      EXPECT_FALSE(diff.contains({x})) << x;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace padfa::pb

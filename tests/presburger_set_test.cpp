@@ -1,0 +1,226 @@
+// Unit + property tests for pb::Set — unions, intersection, exact integer
+// subtraction and subset testing over small brute-forceable boxes.
+#include <gtest/gtest.h>
+
+#include "presburger/set.h"
+
+namespace padfa::pb {
+namespace {
+
+LinExpr X() { return LinExpr::var(0); }
+LinExpr Y() { return LinExpr::var(1); }
+LinExpr C(int64_t k) { return LinExpr(k); }
+
+// Interval [lo, hi] on variable v.
+System interval(VarId v, int64_t lo, int64_t hi) {
+  System s;
+  s.addGE0(LinExpr::var(v) - LinExpr(lo));
+  s.addGE0(LinExpr(hi) - LinExpr::var(v));
+  return s;
+}
+
+TEST(Set, EmptyByDefault) {
+  Set s;
+  EXPECT_TRUE(s.isEmpty());
+  EXPECT_TRUE(s.exact());
+}
+
+TEST(Set, UniverseNonEmpty) {
+  EXPECT_FALSE(Set::universe().isEmpty());
+}
+
+TEST(Set, SinglePieceNonEmpty) {
+  Set s(interval(0, 1, 10));
+  EXPECT_FALSE(s.isEmpty());
+}
+
+TEST(Set, InfeasiblePieceIsEmpty) {
+  Set s(interval(0, 10, 1));
+  EXPECT_TRUE(s.isEmpty());
+}
+
+TEST(Set, UnionOfPieces) {
+  Set a(interval(0, 1, 3));
+  Set b(interval(0, 7, 9));
+  a.unionWith(b);
+  EXPECT_FALSE(a.isEmpty());
+  EXPECT_TRUE(a.contains({2}));
+  EXPECT_TRUE(a.contains({8}));
+  EXPECT_FALSE(a.contains({5}));
+}
+
+TEST(Set, IntersectOverlapping) {
+  Set a(interval(0, 1, 6));
+  Set b(interval(0, 4, 9));
+  Set c = a.intersect(b);
+  EXPECT_TRUE(c.contains({4}));
+  EXPECT_TRUE(c.contains({6}));
+  EXPECT_FALSE(c.contains({3}));
+  EXPECT_FALSE(c.contains({7}));
+}
+
+TEST(Set, IntersectDisjointIsEmpty) {
+  Set a(interval(0, 1, 3));
+  Set b(interval(0, 5, 9));
+  EXPECT_TRUE(a.intersect(b).isEmpty());
+}
+
+TEST(Set, SubtractMiddle) {
+  // [1,10] - [4,6] = [1,3] ∪ [7,10].
+  Set a(interval(0, 1, 10));
+  Set b(interval(0, 4, 6));
+  Set d = a.subtract(b);
+  EXPECT_TRUE(d.exact());
+  EXPECT_TRUE(d.contains({3}));
+  EXPECT_TRUE(d.contains({7}));
+  EXPECT_FALSE(d.contains({5}));
+  EXPECT_FALSE(d.contains({0}));
+}
+
+TEST(Set, SubtractAllIsEmpty) {
+  Set a(interval(0, 2, 5));
+  Set b(interval(0, 1, 10));
+  Set d = a.subtract(b);
+  EXPECT_TRUE(d.isEmpty());
+  EXPECT_TRUE(d.exact());
+}
+
+TEST(Set, SubtractDisjointLeavesMinuend) {
+  Set a(interval(0, 1, 3));
+  Set b(interval(0, 8, 9));
+  Set d = a.subtract(b);
+  for (int64_t x = 1; x <= 3; ++x) EXPECT_TRUE(d.contains({x}));
+  EXPECT_FALSE(d.contains({8}));
+}
+
+TEST(Set, SubsetOfInterval) {
+  Set a(interval(0, 3, 5));
+  Set b(interval(0, 1, 10));
+  EXPECT_TRUE(a.isSubsetOf(b));
+  EXPECT_FALSE(b.isSubsetOf(a));
+}
+
+TEST(Set, SubsetOfUnionNeedsBothPieces) {
+  Set a(interval(0, 1, 10));
+  Set b(interval(0, 1, 5));
+  b.unionWith(Set(interval(0, 6, 10)));
+  EXPECT_TRUE(a.isSubsetOf(b));  // [1,10] ⊆ [1,5] ∪ [6,10]
+  Set c(interval(0, 1, 4));
+  c.unionWith(Set(interval(0, 7, 10)));
+  EXPECT_FALSE(a.isSubsetOf(c));  // 5,6 uncovered
+}
+
+TEST(Set, TwoDimensionalSubtract) {
+  // Square [0,4]x[0,4] minus column x==2 leaves the rest.
+  Set a(interval(0, 0, 4).constraints().empty() ? System() : [] {
+    System s = interval(0, 0, 4);
+    s.conjoin(interval(1, 0, 4));
+    return s;
+  }());
+  System col;
+  col.addEQ0(X() - C(2));
+  Set b{col};
+  Set d = a.subtract(b);
+  EXPECT_TRUE(d.contains({1, 3}));
+  EXPECT_TRUE(d.contains({3, 0}));
+  EXPECT_FALSE(d.contains({2, 2}));
+}
+
+TEST(Set, ConstrainFiltersPieces) {
+  Set a(interval(0, 1, 3));
+  a.unionWith(Set(interval(0, 7, 9)));
+  System ge5;
+  ge5.addGE0(X() - C(5));
+  a.constrain(ge5);
+  EXPECT_FALSE(a.contains({2}));
+  EXPECT_TRUE(a.contains({8}));
+}
+
+TEST(Set, ProjectOntoDropsVariable) {
+  // { (x,y) : 1<=x<=3, y==x } projected onto y: 1<=y<=3.
+  System s = interval(0, 1, 3);
+  s.addEQ0(Y() - X());
+  Set a{s};
+  a.projectOnto([](VarId v) { return v == 1; });
+  EXPECT_TRUE(a.contains({0, 2}));
+  EXPECT_FALSE(a.contains({0, 4}));
+}
+
+TEST(Set, SimplifyDeduplicates) {
+  Set a(interval(0, 1, 3));
+  a.unionWith(Set(interval(0, 1, 3)));
+  a.simplify();
+  EXPECT_EQ(a.numPieces(), 1u);
+}
+
+// ---- Property sweep: set algebra vs brute force on [0,6]^2 ----
+
+struct Box {
+  int64_t xlo, xhi, ylo, yhi;
+};
+
+System boxSys(const Box& b) {
+  System s = interval(0, b.xlo, b.xhi);
+  s.conjoin(interval(1, b.ylo, b.yhi));
+  return s;
+}
+
+class SetAlgebraSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SetAlgebraSweep, SubtractMatchesBruteForce) {
+  auto [ai, bi] = GetParam();
+  // Enumerate a deterministic family of boxes from the parameter.
+  Box A{ai % 3, ai % 3 + ai % 5, (ai / 3) % 4, (ai / 3) % 4 + 2};
+  Box B{bi % 4, bi % 4 + bi % 3 + 1, bi % 2, bi % 2 + (bi / 2) % 5};
+  Set sa{boxSys(A)};
+  Set sb{boxSys(B)};
+  Set diff = sa.subtract(sb);
+  ASSERT_TRUE(diff.exact());
+  for (int64_t x = -1; x <= 8; ++x) {
+    for (int64_t y = -1; y <= 8; ++y) {
+      bool inA = x >= A.xlo && x <= A.xhi && y >= A.ylo && y <= A.yhi;
+      bool inB = x >= B.xlo && x <= B.xhi && y >= B.ylo && y <= B.yhi;
+      EXPECT_EQ(diff.contains({x, y}), inA && !inB)
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST_P(SetAlgebraSweep, IntersectMatchesBruteForce) {
+  auto [ai, bi] = GetParam();
+  Box A{ai % 3, ai % 3 + ai % 5, (ai / 3) % 4, (ai / 3) % 4 + 2};
+  Box B{bi % 4, bi % 4 + bi % 3 + 1, bi % 2, bi % 2 + (bi / 2) % 5};
+  Set sa{boxSys(A)};
+  Set sb{boxSys(B)};
+  Set inter = sa.intersect(sb);
+  for (int64_t x = -1; x <= 8; ++x) {
+    for (int64_t y = -1; y <= 8; ++y) {
+      bool inA = x >= A.xlo && x <= A.xhi && y >= A.ylo && y <= A.yhi;
+      bool inB = x >= B.xlo && x <= B.xhi && y >= B.ylo && y <= B.yhi;
+      EXPECT_EQ(inter.contains({x, y}), inA && inB);
+    }
+  }
+}
+
+TEST_P(SetAlgebraSweep, SubsetConsistentWithSubtract) {
+  auto [ai, bi] = GetParam();
+  Box A{ai % 3, ai % 3 + ai % 5, (ai / 3) % 4, (ai / 3) % 4 + 2};
+  Box B{bi % 4, bi % 4 + bi % 3 + 1, bi % 2, bi % 2 + (bi / 2) % 5};
+  Set sa{boxSys(A)};
+  Set sb{boxSys(B)};
+  bool subset = sa.isSubsetOf(sb);
+  bool brute = true;
+  for (int64_t x = A.xlo; x <= A.xhi; ++x)
+    for (int64_t y = A.ylo; y <= A.yhi; ++y)
+      if (!(x >= B.xlo && x <= B.xhi && y >= B.ylo && y <= B.yhi))
+        brute = false;
+  EXPECT_EQ(subset, brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boxes, SetAlgebraSweep,
+    ::testing::Combine(::testing::Range(0, 8), ::testing::Range(0, 8)));
+
+}  // namespace
+}  // namespace padfa::pb

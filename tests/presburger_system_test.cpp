@@ -1,0 +1,214 @@
+// Unit tests for pb::System: normalization, Fourier–Motzkin elimination,
+// feasibility, projection.
+#include <gtest/gtest.h>
+
+#include "presburger/system.h"
+
+namespace padfa::pb {
+namespace {
+
+// Convenience: x is var 0, y var 1, z var 2, n var 3.
+LinExpr X() { return LinExpr::var(0); }
+LinExpr Y() { return LinExpr::var(1); }
+LinExpr Z() { return LinExpr::var(2); }
+LinExpr N() { return LinExpr::var(3); }
+LinExpr C(int64_t k) { return LinExpr(k); }
+
+TEST(System, EmptySystemFeasible) {
+  System s;
+  EXPECT_TRUE(s.feasible());
+}
+
+TEST(System, SimpleBoundsFeasible) {
+  System s;
+  s.addGE0(X() - C(1));        // x >= 1
+  s.addGE0(C(10) - X());       // x <= 10
+  EXPECT_TRUE(s.feasible());
+}
+
+TEST(System, ContradictoryBoundsInfeasible) {
+  System s;
+  s.addGE0(X() - C(5));   // x >= 5
+  s.addGE0(C(3) - X());   // x <= 3
+  EXPECT_FALSE(s.feasible());
+}
+
+TEST(System, EqualityChainInfeasible) {
+  System s;
+  s.addEQ0(X() - Y());       // x == y
+  s.addEQ0(Y() - Z());       // y == z
+  s.addGE0(X() - Z() - C(1));  // x >= z + 1
+  EXPECT_FALSE(s.feasible());
+}
+
+TEST(System, GcdEqualityInfeasible) {
+  // 2x == 2y + 1 has no integer solution.
+  System s;
+  s.addEQ0(X() * 2 - Y() * 2 - C(1));
+  EXPECT_FALSE(s.feasible());
+}
+
+TEST(System, GcdTighteningCatchesGap) {
+  // 3x >= 1 and 3x <= 2 -> x >= 1 (ceil) and x <= 0 (floor): infeasible.
+  System s;
+  s.addGE0(X() * 3 - C(1));
+  s.addGE0(C(2) - X() * 3);
+  EXPECT_FALSE(s.feasible());
+}
+
+TEST(System, EliminateBySubstitution) {
+  // x == y + 2, x <= 5, x >= 4 -> after eliminating x: 2 <= y <= 3.
+  System s;
+  s.addEQ0(X() - Y() - C(2));
+  s.addGE0(C(5) - X());
+  s.addGE0(X() - C(4));
+  ASSERT_TRUE(s.eliminate(0));
+  EXPECT_TRUE(s.feasible());
+  // y == 2 should be inside, y == 4 outside (vars: index 1).
+  std::vector<int64_t> vals(4, 0);
+  vals[1] = 2;
+  EXPECT_TRUE(s.contains(vals));
+  vals[1] = 4;
+  EXPECT_FALSE(s.contains(vals));
+}
+
+TEST(System, FourierMotzkinPairing) {
+  // y <= x <= y + 1 and x >= 10, y <= 5: infeasible after eliminating x?
+  // x >= 10 and x <= y+1 gives y >= 9; with y <= 5 infeasible.
+  System s;
+  s.addGE0(X() - Y());
+  s.addGE0(Y() + C(1) - X());
+  s.addGE0(X() - C(10));
+  s.addGE0(C(5) - Y());
+  EXPECT_FALSE(s.feasible());
+}
+
+TEST(System, ProjectOntoKeepsParams) {
+  // 1 <= x <= n ; project out x, keep n: requires n >= 1.
+  System s;
+  s.addGE0(X() - C(1));
+  s.addGE0(N() - X());
+  ASSERT_TRUE(s.projectOnto([](VarId v) { return v == 3; }));
+  std::vector<int64_t> vals(4, 0);
+  vals[3] = 0;
+  EXPECT_FALSE(s.contains(vals));
+  vals[3] = 1;
+  EXPECT_TRUE(s.contains(vals));
+}
+
+TEST(System, NormalizeDropsTrivial) {
+  System s;
+  s.addGE0(C(5));
+  s.addEQ0(C(0));
+  ASSERT_TRUE(s.normalize());
+  EXPECT_TRUE(s.trivial());
+}
+
+TEST(System, NormalizeDetectsConstantContradiction) {
+  System s;
+  s.addGE0(C(-1));
+  EXPECT_FALSE(s.normalize());
+}
+
+TEST(System, NormalizeMergesParallelGE) {
+  System s;
+  s.addGE0(X() - C(3));
+  s.addGE0(X() - C(7));  // tighter
+  ASSERT_TRUE(s.normalize());
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.constraints()[0].expr.constant(), -7);
+}
+
+TEST(System, ConflictingEqualities) {
+  System s;
+  s.addEQ0(X() - C(3));
+  s.addEQ0(X() - C(4));
+  EXPECT_FALSE(s.normalize());
+}
+
+TEST(System, NegatedGEIsIntegerNegation) {
+  // !(x - 3 >= 0)  ==  (-x + 2 >= 0)  ==  x <= 2.
+  Constraint c = Constraint::ge0(X() - C(3));
+  Constraint n = c.negatedGE();
+  std::vector<int64_t> vals(1, 2);
+  EXPECT_EQ(n.expr.evaluate(vals), 0);  // x=2 boundary holds
+  vals[0] = 3;
+  EXPECT_LT(n.expr.evaluate(vals), 0);  // x=3 violates
+}
+
+TEST(System, SubstituteThenFeasible) {
+  // x == 2y; x odd bound: x >= 3, x <= 3 -> y must satisfy 2y == 3: infeasible.
+  System s;
+  s.addGE0(X() - C(3));
+  s.addGE0(C(3) - X());
+  s.substitute(0, Y() * 2);
+  EXPECT_FALSE(s.feasible());
+}
+
+TEST(System, UsedVars) {
+  System s;
+  s.addGE0(X() + Z());
+  s.addEQ0(N() - C(2));
+  auto vars = s.usedVars();
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0], 0u);
+  EXPECT_EQ(vars[1], 2u);
+  EXPECT_EQ(vars[2], 3u);
+}
+
+TEST(System, ContainsEvaluatesAllConstraints) {
+  System s;
+  s.addGE0(X() - C(1));
+  s.addEQ0(Y() - X());
+  std::vector<int64_t> v = {2, 2};
+  EXPECT_TRUE(s.contains(v));
+  v[1] = 3;
+  EXPECT_FALSE(s.contains(v));
+}
+
+// Property-style sweep: for random-ish small boxes, feasibility matches
+// brute-force integer enumeration.
+class SystemBoxSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SystemBoxSweep, FeasibilityMatchesBruteForce) {
+  int seed = GetParam();
+  // Deterministic pseudo-random constraint soup over x,y in [-4,4].
+  uint64_t state = 88172645463325252ull + static_cast<uint64_t>(seed);
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  System s;
+  s.addGE0(X() + C(4));
+  s.addGE0(C(4) - X());
+  s.addGE0(Y() + C(4));
+  s.addGE0(C(4) - Y());
+  int nc = 2 + static_cast<int>(next() % 4);
+  for (int i = 0; i < nc; ++i) {
+    int64_t a = static_cast<int64_t>(next() % 7) - 3;
+    int64_t b = static_cast<int64_t>(next() % 7) - 3;
+    int64_t c = static_cast<int64_t>(next() % 11) - 5;
+    LinExpr e = X() * a + Y() * b + C(c);
+    if (next() % 4 == 0)
+      s.addEQ0(e);
+    else
+      s.addGE0(e);
+  }
+  bool brute = false;
+  for (int64_t x = -4; x <= 4 && !brute; ++x)
+    for (int64_t y = -4; y <= 4 && !brute; ++y)
+      if (s.contains({x, y})) brute = true;
+  bool fm = s.feasible();
+  // FM is a relaxation: it may say feasible when brute-force (integer)
+  // says no, but must never say infeasible when integer points exist.
+  if (brute) {
+    EXPECT_TRUE(fm) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SystemBoxSweep, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace padfa::pb

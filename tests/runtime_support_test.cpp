@@ -1,0 +1,201 @@
+// Unit tests for the runtime substrate: thread pool scheduling, iteration
+// splitting, and the ELPD collector's verdict logic in isolation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "runtime/elpd.h"
+#include "runtime/thread_pool.h"
+
+namespace padfa {
+namespace {
+
+TEST(SplitIterations, EvenSplit) {
+  auto parts = splitIterations(0, 99, 1, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], (std::pair<int64_t, int64_t>{0, 24}));
+  EXPECT_EQ(parts[3], (std::pair<int64_t, int64_t>{75, 99}));
+}
+
+TEST(SplitIterations, RemainderGoesToFirstParts) {
+  auto parts = splitIterations(0, 9, 1, 4);  // 10 iters over 4 parts
+  int64_t total = 0;
+  for (auto [lo, hi] : parts)
+    if (lo <= hi) total += hi - lo + 1;
+  EXPECT_EQ(total, 10);
+  EXPECT_EQ(parts[0].second - parts[0].first + 1, 3);  // 3,3,2,2
+}
+
+TEST(SplitIterations, MorePartsThanIterations) {
+  auto parts = splitIterations(5, 6, 1, 8);
+  int nonempty = 0;
+  for (auto [lo, hi] : parts)
+    if (lo <= hi) ++nonempty;
+  EXPECT_EQ(nonempty, 2);
+}
+
+TEST(SplitIterations, StridedSplitCoversExactly) {
+  auto parts = splitIterations(1, 20, 3, 3);  // 1,4,7,10,13,16,19
+  std::vector<int64_t> covered;
+  for (auto [lo, hi] : parts)
+    for (int64_t i = lo; i <= hi; i += 3) covered.push_back(i);
+  EXPECT_EQ(covered, (std::vector<int64_t>{1, 4, 7, 10, 13, 16, 19}));
+  // Chunk boundaries must stay on the stride grid.
+  for (auto [lo, hi] : parts)
+    if (lo <= hi) EXPECT_EQ((lo - 1) % 3, 0);
+}
+
+TEST(SplitIterations, EmptyRange) {
+  auto parts = splitIterations(5, 4, 1, 4);
+  for (auto [lo, hi] : parts) EXPECT_GT(lo, hi);
+}
+
+TEST(ThreadPool, RunsAllWorkers) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  std::vector<int> hits(4, 0);
+  pool.runOnAll([&](unsigned t) {
+    hits[t] = 1;
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 4);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 4);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  bool ran = false;
+  pool.runOnAll([&](unsigned t) {
+    EXPECT_EQ(t, 0u);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.runOnAll([&](unsigned) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.runOnAll([](unsigned t) {
+        if (t == 2) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // Pool must remain usable after an exception.
+  std::atomic<int> count{0};
+  pool.runOnAll([&](unsigned) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+// ---- ELPD collector in isolation ----
+
+struct FakeLoop {
+  ForStmt loop;
+};
+
+class ElpdUnit : public ::testing::Test {
+ protected:
+  ForStmt loop_;
+  ElpdCollector c_;
+  int buf_[1] = {0};  // identity only
+  const void* buffer() const { return buf_; }
+
+  void SetUp() override { c_.instrument(&loop_); }
+
+  void access(int64_t iter, size_t elem, bool write) {
+    c_.loopIterStart(&loop_, iter);
+    c_.recordAccess(buffer(), elem, 100, write);
+  }
+};
+
+TEST_F(ElpdUnit, UnexecutedLoopHasNoVerdict) {
+  auto v = c_.verdict(&loop_);
+  EXPECT_FALSE(v.executed);
+  EXPECT_FALSE(v.parallelizable());
+}
+
+TEST_F(ElpdUnit, DisjointWritesIndependent) {
+  c_.loopEnter(&loop_);
+  access(0, 0, true);
+  access(1, 1, true);
+  access(2, 2, true);
+  c_.loopExit(&loop_);
+  auto v = c_.verdict(&loop_);
+  EXPECT_TRUE(v.independent());
+  EXPECT_EQ(v.accesses, 3u);
+}
+
+TEST_F(ElpdUnit, WriteThenReadAcrossIterationsIsFlow) {
+  c_.loopEnter(&loop_);
+  access(0, 5, true);
+  access(1, 5, false);  // reads the value iteration 0 produced
+  c_.loopExit(&loop_);
+  auto v = c_.verdict(&loop_);
+  EXPECT_TRUE(v.conflict);
+  EXPECT_TRUE(v.flow);
+  EXPECT_FALSE(v.parallelizable());
+}
+
+TEST_F(ElpdUnit, WriteBeforeReadInOwnIterationIsPrivatizable) {
+  c_.loopEnter(&loop_);
+  access(0, 5, true);
+  access(0, 5, false);
+  access(1, 5, true);  // rewrites before reading
+  access(1, 5, false);
+  c_.loopExit(&loop_);
+  auto v = c_.verdict(&loop_);
+  EXPECT_TRUE(v.conflict);      // same element written by two iterations
+  EXPECT_FALSE(v.flow);         // but each iteration reads its own value
+  EXPECT_TRUE(v.privatizable());
+}
+
+TEST_F(ElpdUnit, ReadBeforeLaterWriteIsAntiOnly) {
+  c_.loopEnter(&loop_);
+  access(0, 7, false);  // reads original value
+  access(2, 7, true);   // later iteration overwrites
+  c_.loopExit(&loop_);
+  auto v = c_.verdict(&loop_);
+  EXPECT_TRUE(v.conflict);
+  EXPECT_FALSE(v.flow);  // copy-in privatization preserves semantics
+}
+
+TEST_F(ElpdUnit, MultipleWritesInOneIterationNoConflict) {
+  c_.loopEnter(&loop_);
+  access(3, 9, true);
+  access(3, 9, true);
+  access(3, 9, false);
+  c_.loopExit(&loop_);
+  EXPECT_TRUE(c_.verdict(&loop_).independent());
+}
+
+TEST_F(ElpdUnit, AccessesOutsideInstrumentedLoopIgnored) {
+  // No loopEnter: the access must not count.
+  c_.recordAccess(buffer(), 0, 100, true);
+  EXPECT_EQ(c_.totalAccesses(), 0u);
+}
+
+TEST_F(ElpdUnit, NestedCollectorsBothRecord) {
+  ForStmt inner;
+  c_.instrument(&inner);
+  c_.loopEnter(&loop_);
+  c_.loopIterStart(&loop_, 0);
+  c_.loopEnter(&inner);
+  c_.loopIterStart(&inner, 0);
+  c_.recordAccess(buffer(), 4, 100, true);
+  c_.loopExit(&inner);
+  c_.loopExit(&loop_);
+  EXPECT_EQ(c_.verdict(&loop_).accesses, 1u);
+  EXPECT_EQ(c_.verdict(&inner).accesses, 1u);
+}
+
+}  // namespace
+}  // namespace padfa

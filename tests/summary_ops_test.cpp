@@ -1,0 +1,192 @@
+// Unit tests for the guarded-section algebra in dataflow/summary:
+// guarding, embedding, PredSubtract (including the guard-splitting case),
+// scalar kills, and approximation flags.
+#include <gtest/gtest.h>
+
+#include "dataflow/summary.h"
+#include "lang/parser.h"
+#include "lang/sema.h"
+
+namespace padfa {
+namespace {
+
+class SummaryOps : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Conditions over scalars d and t for building predicates.
+    const char* src = R"(
+proc main() {
+  int d; int t;
+  d = 0; t = 0;
+  if (d >= 2) { t = 1; }
+  if (t > 0) { d = 1; }
+}
+)";
+    DiagEngine diags;
+    program_ = parseProgram(src, diags);
+    ASSERT_NE(program_, nullptr) << diags.dump();
+    ASSERT_TRUE(analyze(*program_, diags)) << diags.dump();
+    vt_ = std::make_unique<VarTable>(&program_->interner);
+    auto& stmts = program_->procs[0]->body->stmts;
+    d_ge2_ = Pred::fromCondition(
+        *static_cast<IfStmt&>(*stmts[2]).cond, program_->interner);
+    t_gt0_ = Pred::fromCondition(
+        *static_cast<IfStmt&>(*stmts[3]).cond, program_->interner);
+    auto& d_ref = static_cast<BinaryExpr&>(
+        *static_cast<IfStmt&>(*stmts[2]).cond);
+    d_decl_ = static_cast<VarRefExpr&>(*d_ref.lhs).decl;
+  }
+
+  // Section {lo <= dim0 <= hi} (constants).
+  pb::Set interval(int64_t lo, int64_t hi) {
+    pb::System s;
+    s.addGE0(pb::LinExpr::var(vt_->dim(0)) - pb::LinExpr(lo));
+    s.addGE0(pb::LinExpr(hi) - pb::LinExpr::var(vt_->dim(0)));
+    return pb::Set(std::move(s));
+  }
+
+  // Section {lo <= dim0 <= d} with symbolic upper bound d.
+  pb::Set intervalToD(int64_t lo) {
+    pb::System s;
+    s.addGE0(pb::LinExpr::var(vt_->dim(0)) - pb::LinExpr(lo));
+    pb::LinExpr ub = pb::LinExpr::var(vt_->idFor(d_decl_));
+    ub -= pb::LinExpr::var(vt_->dim(0));
+    s.addGE0(std::move(ub));
+    return pb::Set(std::move(s));
+  }
+
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<VarTable> vt_;
+  Pred d_ge2_, t_gt0_;
+  const VarDecl* d_decl_ = nullptr;
+};
+
+TEST_F(SummaryOps, GuardListConjoins) {
+  GuardedList l = {{Pred::always(), interval(0, 9)}};
+  guardList(l, d_ge2_);
+  ASSERT_EQ(l.size(), 1u);
+  EXPECT_EQ(l[0].guard.key(), d_ge2_.key());
+}
+
+TEST_F(SummaryOps, GuardListDropsFalseGuards) {
+  GuardedList l = {{!d_ge2_, interval(0, 9)}};
+  guardList(l, d_ge2_);  // (!p) && p == false
+  EXPECT_TRUE(l.empty());
+}
+
+TEST_F(SummaryOps, EmbedGuardsAddsAffineConstraint) {
+  GuardedList l = {{d_ge2_, intervalToD(0)}};
+  embedGuards(l, *vt_);
+  ASSERT_EQ(l.size(), 1u);
+  // With d >= 2 embedded, the section must contain (dim0=1, d=2) and must
+  // not contain any point with d <= 1.
+  pb::VarId d = vt_->idFor(d_decl_);
+  std::vector<int64_t> point(std::max<size_t>(d + 1, 8), 0);
+  point[vt_->dim(0)] = 1;
+  point[d] = 2;
+  EXPECT_TRUE(l[0].section.contains(point));
+  point[d] = 1;
+  point[vt_->dim(0)] = 0;
+  EXPECT_FALSE(l[0].section.contains(point));
+}
+
+TEST_F(SummaryOps, PredSubtractWithImplication) {
+  // Exposed [0,9] guarded d>=2, must-write [0,20] also guarded d>=2:
+  // same guard implies full subtraction -> empty.
+  GuardedList exposed = {{d_ge2_, interval(0, 9)}};
+  GuardedList cover = {{d_ge2_, interval(0, 20)}};
+  GuardedList rem = predSubtract(exposed, cover, *vt_);
+  EXPECT_TRUE(rem.empty());
+}
+
+TEST_F(SummaryOps, PredSubtractSplitsOnUnrelatedGuards) {
+  // Exposed unguarded, must-write guarded t>0: remainder must split into
+  // (t>0, e-m) and (!(t>0), e).
+  GuardedList exposed = {{Pred::always(), interval(0, 9)}};
+  GuardedList cover = {{t_gt0_, interval(0, 20)}};
+  GuardedList rem = predSubtract(exposed, cover, *vt_);
+  ASSERT_EQ(rem.size(), 1u);  // covered part vanishes; only !(t>0) remains
+  EXPECT_EQ(rem[0].guard.key(), (!t_gt0_).key());
+  EXPECT_TRUE(rem[0].section.contains({5}));
+}
+
+TEST_F(SummaryOps, PredSubtractPartialCoverSplitsBoth) {
+  GuardedList exposed = {{Pred::always(), interval(0, 9)}};
+  GuardedList cover = {{t_gt0_, interval(0, 4)}};
+  GuardedList rem = predSubtract(exposed, cover, *vt_);
+  // (t>0, [5,9]) and (!(t>0), [0,9]).
+  ASSERT_EQ(rem.size(), 2u);
+  bool saw_pos = false, saw_neg = false;
+  for (const auto& g : rem) {
+    if (g.guard.key() == t_gt0_.key()) {
+      saw_pos = true;
+      EXPECT_FALSE(g.section.contains({2}));
+      EXPECT_TRUE(g.section.contains({7}));
+    }
+    if (g.guard.key() == (!t_gt0_).key()) {
+      saw_neg = true;
+      EXPECT_TRUE(g.section.contains({2}));
+    }
+  }
+  EXPECT_TRUE(saw_pos);
+  EXPECT_TRUE(saw_neg);
+}
+
+TEST_F(SummaryOps, KillScalarsMayProjectsSections) {
+  GuardedList l = {{Pred::always(), intervalToD(0)}};
+  killScalarsMay(l, {d_decl_}, *vt_);
+  ASSERT_EQ(l.size(), 1u);
+  // After projecting d away, the section keeps only dim0 >= 0.
+  EXPECT_TRUE(l[0].section.contains({100}));
+}
+
+TEST_F(SummaryOps, KillScalarsMustDropsSections) {
+  GuardedList l = {{Pred::always(), intervalToD(0)}};
+  killScalarsMust(l, {d_decl_}, *vt_);
+  EXPECT_TRUE(l.empty());
+}
+
+TEST_F(SummaryOps, KillWeakensGuardsDirectionally) {
+  GuardedList may = {{d_ge2_, interval(0, 5)}};
+  killScalarsMay(may, {d_decl_}, *vt_);
+  ASSERT_EQ(may.size(), 1u);
+  EXPECT_TRUE(may[0].guard.isTrue());
+
+  GuardedList must = {{d_ge2_, interval(0, 5)}};
+  killScalarsMust(must, {d_decl_}, *vt_);
+  EXPECT_TRUE(must.empty());
+}
+
+TEST_F(SummaryOps, UnguardedUnionMergesSections) {
+  GuardedList l = {{d_ge2_, interval(0, 3)}, {t_gt0_, interval(7, 9)}};
+  pb::Set u = unguardedUnion(l);
+  EXPECT_TRUE(u.contains({1}));
+  EXPECT_TRUE(u.contains({8}));
+  EXPECT_FALSE(u.contains({5}));
+}
+
+TEST_F(SummaryOps, AppendGuardedConcatenates) {
+  GuardedList a = {{Pred::always(), interval(0, 1)}};
+  GuardedList b = {{Pred::always(), interval(2, 3)}};
+  appendGuarded(a, b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST_F(SummaryOps, GuardedListStrShowsGuards) {
+  GuardedList l = {{d_ge2_, interval(0, 3)}};
+  std::string s = guardedListStr(l, *vt_, program_->interner);
+  EXPECT_NE(s.find(">="), std::string::npos);
+  EXPECT_EQ(guardedListStr({}, *vt_, program_->interner), "(empty)");
+}
+
+TEST_F(SummaryOps, RegionSummaryAccessors) {
+  RegionSummary s;
+  ArraySummary& as = s.arrayFor(d_decl_);  // any decl works as a key
+  EXPECT_EQ(as.array, d_decl_);
+  ScalarEffect& eff = s.scalarFor(d_decl_);
+  eff.may_write = true;
+  EXPECT_TRUE(s.scalars.at(d_decl_).may_write);
+}
+
+}  // namespace
+}  // namespace padfa
