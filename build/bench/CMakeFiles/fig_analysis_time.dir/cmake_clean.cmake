@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_analysis_time.dir/fig_analysis_time.cpp.o"
+  "CMakeFiles/fig_analysis_time.dir/fig_analysis_time.cpp.o.d"
+  "fig_analysis_time"
+  "fig_analysis_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_analysis_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

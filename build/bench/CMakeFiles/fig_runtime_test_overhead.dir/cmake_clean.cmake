@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_runtime_test_overhead.dir/fig_runtime_test_overhead.cpp.o"
+  "CMakeFiles/fig_runtime_test_overhead.dir/fig_runtime_test_overhead.cpp.o.d"
+  "fig_runtime_test_overhead"
+  "fig_runtime_test_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_runtime_test_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_speedups.dir/fig_speedups.cpp.o"
+  "CMakeFiles/fig_speedups.dir/fig_speedups.cpp.o.d"
+  "fig_speedups"
+  "fig_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_suite_overview.dir/table1_suite_overview.cpp.o"
+  "CMakeFiles/table1_suite_overview.dir/table1_suite_overview.cpp.o.d"
+  "table1_suite_overview"
+  "table1_suite_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_suite_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

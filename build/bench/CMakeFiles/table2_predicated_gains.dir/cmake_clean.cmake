@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_predicated_gains.dir/table2_predicated_gains.cpp.o"
+  "CMakeFiles/table2_predicated_gains.dir/table2_predicated_gains.cpp.o.d"
+  "table2_predicated_gains"
+  "table2_predicated_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_predicated_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_loop_detail.dir/table3_loop_detail.cpp.o"
+  "CMakeFiles/table3_loop_detail.dir/table3_loop_detail.cpp.o.d"
+  "table3_loop_detail"
+  "table3_loop_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_loop_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

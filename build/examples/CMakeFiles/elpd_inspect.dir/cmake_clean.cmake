@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elpd_inspect.dir/elpd_inspect.cpp.o"
+  "CMakeFiles/elpd_inspect.dir/elpd_inspect.cpp.o.d"
+  "elpd_inspect"
+  "elpd_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elpd_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privatization_demo.dir/privatization_demo.cpp.o"
+  "CMakeFiles/privatization_demo.dir/privatization_demo.cpp.o.d"
+  "privatization_demo"
+  "privatization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privatization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_test_demo.dir/runtime_test_demo.cpp.o"
+  "CMakeFiles/runtime_test_demo.dir/runtime_test_demo.cpp.o.d"
+  "runtime_test_demo"
+  "runtime_test_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_test_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/mf_printer.cpp" "src/CMakeFiles/padfa.dir/codegen/mf_printer.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/codegen/mf_printer.cpp.o.d"
+  "/root/repo/src/codegen/parallel_emit.cpp" "src/CMakeFiles/padfa.dir/codegen/parallel_emit.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/codegen/parallel_emit.cpp.o.d"
+  "/root/repo/src/corpus/corpus.cpp" "src/CMakeFiles/padfa.dir/corpus/corpus.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/corpus/corpus.cpp.o.d"
+  "/root/repo/src/corpus/corpus_nas.cpp" "src/CMakeFiles/padfa.dir/corpus/corpus_nas.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/corpus/corpus_nas.cpp.o.d"
+  "/root/repo/src/corpus/corpus_perfect.cpp" "src/CMakeFiles/padfa.dir/corpus/corpus_perfect.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/corpus/corpus_perfect.cpp.o.d"
+  "/root/repo/src/corpus/corpus_specfp.cpp" "src/CMakeFiles/padfa.dir/corpus/corpus_specfp.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/corpus/corpus_specfp.cpp.o.d"
+  "/root/repo/src/dataflow/analysis.cpp" "src/CMakeFiles/padfa.dir/dataflow/analysis.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/dataflow/analysis.cpp.o.d"
+  "/root/repo/src/dataflow/loop_plan.cpp" "src/CMakeFiles/padfa.dir/dataflow/loop_plan.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/dataflow/loop_plan.cpp.o.d"
+  "/root/repo/src/dataflow/summary.cpp" "src/CMakeFiles/padfa.dir/dataflow/summary.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/dataflow/summary.cpp.o.d"
+  "/root/repo/src/driver/padfa.cpp" "src/CMakeFiles/padfa.dir/driver/padfa.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/driver/padfa.cpp.o.d"
+  "/root/repo/src/interp/interp.cpp" "src/CMakeFiles/padfa.dir/interp/interp.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/interp/interp.cpp.o.d"
+  "/root/repo/src/ir/region.cpp" "src/CMakeFiles/padfa.dir/ir/region.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/ir/region.cpp.o.d"
+  "/root/repo/src/lang/ast.cpp" "src/CMakeFiles/padfa.dir/lang/ast.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/lang/ast.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/padfa.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/padfa.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/sema.cpp" "src/CMakeFiles/padfa.dir/lang/sema.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/lang/sema.cpp.o.d"
+  "/root/repo/src/predicate/pred.cpp" "src/CMakeFiles/padfa.dir/predicate/pred.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/predicate/pred.cpp.o.d"
+  "/root/repo/src/presburger/linexpr.cpp" "src/CMakeFiles/padfa.dir/presburger/linexpr.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/presburger/linexpr.cpp.o.d"
+  "/root/repo/src/presburger/set.cpp" "src/CMakeFiles/padfa.dir/presburger/set.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/presburger/set.cpp.o.d"
+  "/root/repo/src/presburger/system.cpp" "src/CMakeFiles/padfa.dir/presburger/system.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/presburger/system.cpp.o.d"
+  "/root/repo/src/runtime/elpd.cpp" "src/CMakeFiles/padfa.dir/runtime/elpd.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/runtime/elpd.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/CMakeFiles/padfa.dir/runtime/thread_pool.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/padfa.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/padfa.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/support/table.cpp.o.d"
+  "/root/repo/src/symbolic/affine.cpp" "src/CMakeFiles/padfa.dir/symbolic/affine.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/symbolic/affine.cpp.o.d"
+  "/root/repo/src/symbolic/vartable.cpp" "src/CMakeFiles/padfa.dir/symbolic/vartable.cpp.o" "gcc" "src/CMakeFiles/padfa.dir/symbolic/vartable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for padfa.
+# This may be replaced when dependencies are built.

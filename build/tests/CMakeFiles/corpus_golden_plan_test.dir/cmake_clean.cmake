@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_golden_plan_test.dir/corpus_golden_plan_test.cpp.o"
+  "CMakeFiles/corpus_golden_plan_test.dir/corpus_golden_plan_test.cpp.o.d"
+  "corpus_golden_plan_test"
+  "corpus_golden_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_golden_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_analysis_test.dir/dataflow_analysis_test.cpp.o"
+  "CMakeFiles/dataflow_analysis_test.dir/dataflow_analysis_test.cpp.o.d"
+  "dataflow_analysis_test"
+  "dataflow_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

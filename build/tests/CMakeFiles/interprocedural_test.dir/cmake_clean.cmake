@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interprocedural_test.dir/interprocedural_test.cpp.o"
+  "CMakeFiles/interprocedural_test.dir/interprocedural_test.cpp.o.d"
+  "interprocedural_test"
+  "interprocedural_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interprocedural_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presburger_linexpr_test.dir/presburger_linexpr_test.cpp.o"
+  "CMakeFiles/presburger_linexpr_test.dir/presburger_linexpr_test.cpp.o.d"
+  "presburger_linexpr_test"
+  "presburger_linexpr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presburger_linexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

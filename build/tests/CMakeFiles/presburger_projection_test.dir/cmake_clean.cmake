@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presburger_projection_test.dir/presburger_projection_test.cpp.o"
+  "CMakeFiles/presburger_projection_test.dir/presburger_projection_test.cpp.o.d"
+  "presburger_projection_test"
+  "presburger_projection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presburger_projection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

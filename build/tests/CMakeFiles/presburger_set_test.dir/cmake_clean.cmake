@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presburger_set_test.dir/presburger_set_test.cpp.o"
+  "CMakeFiles/presburger_set_test.dir/presburger_set_test.cpp.o.d"
+  "presburger_set_test"
+  "presburger_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presburger_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presburger_system_test.dir/presburger_system_test.cpp.o"
+  "CMakeFiles/presburger_system_test.dir/presburger_system_test.cpp.o.d"
+  "presburger_system_test"
+  "presburger_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presburger_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

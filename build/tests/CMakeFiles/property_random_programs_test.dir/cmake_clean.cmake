@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_random_programs_test.dir/property_random_programs_test.cpp.o"
+  "CMakeFiles/property_random_programs_test.dir/property_random_programs_test.cpp.o.d"
+  "property_random_programs_test"
+  "property_random_programs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_random_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

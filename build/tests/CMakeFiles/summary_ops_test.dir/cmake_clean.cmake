@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_ops_test.dir/summary_ops_test.cpp.o"
+  "CMakeFiles/summary_ops_test.dir/summary_ops_test.cpp.o.d"
+  "summary_ops_test"
+  "summary_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
