@@ -13,8 +13,10 @@ using namespace padfa::bench;
 
 int main() {
   TextTable table({"program", "suite", "loops", "base-par", "not-cand",
-                   "nested", "candidates", "ELPD-par"});
+                   "nested", "candidates", "ELPD-par", "degraded"});
   int tot_loops = 0, tot_base = 0, tot_cand = 0, tot_elpd = 0;
+  int tot_degraded = 0;
+  std::map<std::string, uint64_t> causes;
   std::string cur_suite;
   for (const auto& e : corpus()) {
     CompiledProgram cp = compileOrDie(e);
@@ -43,19 +45,23 @@ int main() {
       if (!cur_suite.empty()) table.addSeparator();
       cur_suite = e.suite;
     }
+    int degraded = static_cast<int>(cp.base.degradedCount());
+    for (const auto& [cause, n] : cp.base.exhaustion_causes)
+      causes[cause] += n;
     table.addRow({e.name, e.suite, std::to_string(loops),
                   std::to_string(base_par), std::to_string(not_cand),
                   std::to_string(nested), std::to_string(cand),
-                  std::to_string(elpd_par)});
+                  std::to_string(elpd_par), std::to_string(degraded)});
     tot_loops += loops;
     tot_base += base_par;
     tot_cand += cand;
     tot_elpd += elpd_par;
+    tot_degraded += degraded;
   }
   table.addSeparator();
   table.addRow({"TOTAL", "", std::to_string(tot_loops),
                 std::to_string(tot_base), "", "", std::to_string(tot_cand),
-                std::to_string(tot_elpd)});
+                std::to_string(tot_elpd), std::to_string(tot_degraded)});
   std::printf("Table 1: suite overview (base system + ELPD inherent "
               "parallelism)\n%s\n",
               table.render().c_str());
@@ -65,5 +71,12 @@ int main() {
   std::printf("ELPD finds %d inherently parallel loops among %d "
               "remaining candidates\n",
               tot_elpd, tot_cand);
+  if (tot_degraded > 0) {
+    std::printf("degraded loops: %d (budget exhaustion:", tot_degraded);
+    for (const auto& [cause, n] : causes)
+      std::printf(" %s=%llu", cause.c_str(),
+                  static_cast<unsigned long long>(n));
+    std::printf(")\n");
+  }
   return 0;
 }

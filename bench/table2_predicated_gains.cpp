@@ -14,8 +14,9 @@ using namespace padfa::bench;
 
 int main() {
   TextTable table({"program", "candidates", "ELPD-par", "pred-CT",
-                   "pred-RT", "recovered", "% of remainder"});
+                   "pred-RT", "recovered", "% of remainder", "degraded"});
   int tot_cand = 0, tot_elpd = 0, tot_ct = 0, tot_rt = 0;
+  int tot_degraded = 0;
   int programs_with_gains = 0;
   for (const auto& e : corpus()) {
     CompiledProgram cp = compileOrDie(e);
@@ -31,20 +32,24 @@ int main() {
       if (pp->status == LoopStatus::RuntimeTest) ++rt;
     }
     if (ct + rt > 0) ++programs_with_gains;
+    int degraded = static_cast<int>(cp.pred.degradedCount());
     table.addRow({e.name, std::to_string(cand), std::to_string(elpd_par),
                   std::to_string(ct), std::to_string(rt),
                   std::to_string(ct + rt),
-                  fmtPercent(ct + rt, elpd_par)});
+                  fmtPercent(ct + rt, elpd_par),
+                  std::to_string(degraded)});
     tot_cand += cand;
     tot_elpd += elpd_par;
     tot_ct += ct;
     tot_rt += rt;
+    tot_degraded += degraded;
   }
   table.addSeparator();
   table.addRow({"TOTAL", std::to_string(tot_cand), std::to_string(tot_elpd),
                 std::to_string(tot_ct), std::to_string(tot_rt),
                 std::to_string(tot_ct + tot_rt),
-                fmtPercent(tot_ct + tot_rt, tot_elpd)});
+                fmtPercent(tot_ct + tot_rt, tot_elpd),
+                std::to_string(tot_degraded)});
   std::printf("Table 2: loops newly parallelized by predicated analysis\n%s\n",
               table.render().c_str());
   std::printf("predicated analysis parallelizes %s of the inherently "

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "codegen/parallel_emit.h"
@@ -63,6 +64,9 @@ int report(const CompiledProgram& cp) {
       notes = "test: " + pp->runtime_test.str(cp.interner());
     else if (pp->status == LoopStatus::Sequential)
       notes = pp->reason;
+    if (pp->degraded || bp->degraded)
+      notes += " [degraded: " +
+               (pp->degraded ? pp->degrade_cause : bp->degrade_cause) + "]";
     for (const auto& pa : pp->privatized) {
       notes += " [private " +
                std::string(cp.interner().str(pa.array->name)) +
@@ -75,6 +79,18 @@ int report(const CompiledProgram& cp) {
                 node->depth, std::string(loopStatusName(bp->status)).c_str(),
                 std::string(loopStatusName(pp->status)).c_str(),
                 notes.c_str());
+  }
+  size_t degraded = cp.base.degradedCount() + cp.pred.degradedCount();
+  if (degraded > 0) {
+    std::printf("\n%zu degraded plan(s) — analysis budget exhaustion:",
+                degraded);
+    std::map<std::string, uint64_t> causes;
+    for (const auto* r : {&cp.base, &cp.pred})
+      for (const auto& [cause, n] : r->exhaustion_causes) causes[cause] += n;
+    for (const auto& [cause, n] : causes)
+      std::printf(" %s=%llu", cause.c_str(),
+                  static_cast<unsigned long long>(n));
+    std::printf("\n");
   }
   return 0;
 }
@@ -141,10 +157,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s", diags.dump().c_str());
     return 1;
   }
-  if (std::strcmp(argv[1], "report") == 0) return report(*cp);
-  if (std::strcmp(argv[1], "run") == 0)
-    return run(*cp, argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 1);
-  if (std::strcmp(argv[1], "elpd") == 0) return elpd(*cp);
+  try {
+    if (std::strcmp(argv[1], "report") == 0) return report(*cp);
+    if (std::strcmp(argv[1], "run") == 0)
+      return run(*cp,
+                 argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 1);
+    if (std::strcmp(argv[1], "elpd") == 0) return elpd(*cp);
+  } catch (const RuntimeError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
   if (std::strcmp(argv[1], "emit") == 0) {
     EmitStats stats;
     std::string out = emitParallelProgram(*cp->program, cp->pred, &stats);

@@ -36,13 +36,45 @@ class Analyzer {
 
   AnalysisResult run() {
     auto t0 = std::chrono::steady_clock::now();
+
+    // Resource governance: install the budget for this thread. The
+    // injector comes from the config when set, else from the environment
+    // (PADFA_FAULT_RATE / PADFA_FAULT_SEED).
+    FaultInjector* injector = cfg_.injector;
+    std::optional<FaultInjector> env_injector;
+    if (!injector) {
+      env_injector = FaultInjector::fromEnv();
+      if (env_injector) injector = &*env_injector;
+    }
+    AnalysisBudget budget(BudgetLimits::fromEnv(cfg_.budget), injector);
+    BudgetScope scope(budget);
+
     for (ProcDecl* proc : bottomUpProcOrder(program_)) {
       cur_proc_ = proc;
-      computeAliases(*proc);
-      RegionSummary s = analyzeBlock(*proc->body);
-      finalizeProcSummary(*proc, s);
-      proc_summaries_[proc] = std::move(s);
+      if (degrade_rest_) {
+        // A budget already gave out: stop spending work on analysis and
+        // summarize every remaining procedure conservatively.
+        proc_summaries_[proc] = conservativeProcSummary(*proc);
+      } else {
+        try {
+          computeAliases(*proc);
+          RegionSummary s = analyzeBlock(*proc->body);
+          finalizeProcSummary(*proc, s);
+          proc_summaries_[proc] = std::move(s);
+        } catch (const BudgetExceeded& e) {
+          recordExhaustion(e);
+          proc_summaries_[proc] = conservativeProcSummary(*proc);
+        }
+      }
+      if (proc_summaries_[proc].has_sink) tree_sink_.insert(proc);
+      // Loops skipped by a conservative fallback get degraded plans.
+      degradeUnplannedLoops(*proc->body);
     }
+
+    result_.degraded_globally = budget.exhaustedGlobally();
+    result_.fm_steps = budget.fmSteps();
+    result_.constraints_built = budget.constraintsBuilt();
+    result_.pieces_touched = budget.piecesTouched();
     auto t1 = std::chrono::steady_clock::now();
     result_.analysis_seconds =
         std::chrono::duration<double>(t1 - t0).count();
@@ -99,6 +131,149 @@ class Analyzer {
     return pb::Set(std::move(sys));
   }
 
+  // --------------------------------------------- graceful degradation --
+  //
+  // Every BudgetExceeded is caught at one of three boundaries (loop,
+  // procedure, whole program) and converted into conservative results.
+  // After the first exhaustion the rest of the program is summarized
+  // conservatively too: plans finalized before the event are identical to
+  // the un-governed run, and every later plan is Sequential — so the
+  // degraded parallel plan is always a subset of the full one.
+
+  void recordExhaustion(const BudgetExceeded& e) {
+    degrade_rest_ = true;
+    last_cause_ = budgetCauseName(e.cause());
+    result_.exhaustion_causes[last_cause_]++;
+  }
+
+  /// Conservative sequential plan for a loop whose analysis blew the
+  /// budget. Never overwrites an already-finalized plan.
+  void degradePlan(const ForStmt& loop) {
+    if (result_.plans.count(&loop)) return;
+    LoopPlan plan;
+    plan.loop = &loop;
+    plan.proc = cur_proc_;
+    plan.status = LoopStatus::Sequential;
+    plan.degraded = true;
+    plan.degrade_cause = last_cause_;
+    plan.reason = "analysis budget exhausted (" + last_cause_ + ")";
+    result_.plans[&loop] = std::move(plan);
+  }
+
+  void degradeUnplannedLoops(const BlockStmt& block) {
+    for (const auto& st : block.stmts) {
+      switch (st->kind) {
+        case StmtKind::For: {
+          const auto& f = static_cast<const ForStmt&>(*st);
+          degradePlan(f);
+          degradeUnplannedLoops(*f.body);
+          break;
+        }
+        case StmtKind::If: {
+          const auto& i = static_cast<const IfStmt&>(*st);
+          degradeUnplannedLoops(*i.then_block);
+          if (i.else_block) degradeUnplannedLoops(*i.else_block);
+          break;
+        }
+        case StmtKind::Block:
+          degradeUnplannedLoops(static_cast<const BlockStmt&>(*st));
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  /// Sound whole-array/whole-scalar over-approximation of a region,
+  /// built without any charged set operations so it cannot itself blow
+  /// the budget: every referenced array may be read, written, and
+  /// upward-exposed over its whole extent (no must-writes), every
+  /// referenced scalar may be written and is exposed (no must-writes).
+  RegionSummary conservativeBlockSummary(const BlockStmt& block,
+                                         const VarDecl* skip_index) {
+    RegionSummary out;
+    out.degraded = true;
+    collectConservative(block, out);
+    if (skip_index) out.scalars.erase(skip_index);
+    return out;
+  }
+
+  void noteConservativeVars(const Expr& e, RegionSummary& out) {
+    std::vector<const VarDecl*> vs;
+    collectVars(e, vs);
+    for (const VarDecl* d : vs) {
+      if (d->isArray()) {
+        ArraySummary& as = out.arrayFor(d);
+        if (as.approximate) continue;  // already widened
+        pb::Set whole = wholeArray(*d);
+        as.reads.push_back({Pred::always(), whole});
+        as.writes.push_back({Pred::always(), whole});
+        as.exposed.push_back({Pred::always(), std::move(whole)});
+        as.approximate = true;
+      } else {
+        ScalarEffect& eff = out.scalarFor(d);
+        eff.may_write = true;
+        eff.any_read = true;
+        eff.exposed_read = true;
+        eff.must_write = false;
+      }
+    }
+  }
+
+  void collectConservative(const BlockStmt& block, RegionSummary& out) {
+    for (const auto& st : block.stmts) {
+      switch (st->kind) {
+        case StmtKind::Assign: {
+          const auto& as = static_cast<const AssignStmt&>(*st);
+          noteConservativeVars(*as.target, out);
+          noteConservativeVars(*as.value, out);
+          break;
+        }
+        case StmtKind::If: {
+          const auto& i = static_cast<const IfStmt&>(*st);
+          noteConservativeVars(*i.cond, out);
+          collectConservative(*i.then_block, out);
+          if (i.else_block) collectConservative(*i.else_block, out);
+          break;
+        }
+        case StmtKind::For: {
+          const auto& f = static_cast<const ForStmt&>(*st);
+          noteConservativeVars(*f.lower, out);
+          noteConservativeVars(*f.upper, out);
+          if (f.step) noteConservativeVars(*f.step, out);
+          collectConservative(*f.body, out);
+          break;
+        }
+        case StmtKind::Call: {
+          const auto& c = static_cast<const CallStmt&>(*st);
+          for (const auto& a : c.args) noteConservativeVars(*a, out);
+          if (c.is_sink || tree_sink_.count(c.callee_proc))
+            out.has_sink = true;
+          auto it = proc_summaries_.find(c.callee_proc);
+          if (it != proc_summaries_.end() && it->second.has_sink)
+            out.has_sink = true;
+          break;
+        }
+        case StmtKind::Block:
+          collectConservative(static_cast<const BlockStmt&>(*st), out);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  /// Caller-visible conservative summary of a procedure: whole-array
+  /// effects on array formals only (by-value scalars and locals do not
+  /// escape), flagged degraded.
+  RegionSummary conservativeProcSummary(const ProcDecl& proc) {
+    RegionSummary out = conservativeBlockSummary(*proc.body, nullptr);
+    std::erase_if(out.arrays,
+                  [](const auto& kv) { return !kv.first->is_param; });
+    out.scalars.clear();
+    return out;
+  }
+
   // -------------------------------------------------------- traversal --
 
   RegionSummary analyzeBlock(const BlockStmt& block) {
@@ -112,6 +287,7 @@ class Analyzer {
   }
 
   RegionSummary analyzeStmt(const Stmt& s) {
+    RecursionGuard depth_guard;  // statement-nesting backstop
     switch (s.kind) {
       case StmtKind::Assign:
         return analyzeAssign(static_cast<const AssignStmt&>(s));
@@ -247,6 +423,7 @@ class Analyzer {
         if (predicated_must) appendGuarded(dst.must_writes, as.must_writes);
       }
       out.has_sink |= src->has_sink;
+      out.degraded |= src->degraded;
     }
     if (!predicated_must) {
       // Baseline: must-written only if written on both paths.
@@ -345,6 +522,7 @@ class Analyzer {
       dst.must_write |= eff.must_write;
     }
     acc.has_sink |= next.has_sink;
+    acc.degraded |= next.degraded;
   }
 
   /// Kill stale references in one guarded list.
@@ -598,6 +776,11 @@ class Analyzer {
   const ProcDecl* cur_proc_ = nullptr;
   std::map<const VarDecl*, const Expr*> alias_expr_;
   std::set<std::string> reshape_pred_keys_;
+  /// Set at the first budget exhaustion; all later loops degrade to
+  /// Sequential so the surviving parallel plan is exactly the prefix that
+  /// was finalized before the event.
+  bool degrade_rest_ = false;
+  std::string last_cause_ = "budget";
   /// Bounds systems of the loops enclosing the region being analyzed
   /// (over their real index VarIds). Used to "gist" extracted conditions:
   /// a breaking condition implied by the context is vacuous.
@@ -645,6 +828,10 @@ void Analyzer::translateCallee(const ProcDecl& callee, const CallStmt& call,
 
   // Record sink propagation.
   if (src.has_sink) tree_sink_.insert(&callee);
+  // A degraded callee summary taints every caller region containing the
+  // call: its whole-array sections are sound, but loops planned over them
+  // must stay sequential.
+  out.degraded |= src.degraded;
 
   // Scalar formal -> affine actual mapping (by VarId), plus the Expr-level
   // substitution for guards.
@@ -1100,6 +1287,18 @@ void Analyzer::planLoop(const ForStmt& loop, const RegionSummary& body) {
     result_.plans[&loop] = std::move(plan);
   };
 
+  // ---------------- degradation ----------------
+  // A degraded body summary is a sound over-approximation, but testing
+  // dependence (or extracting run-time conditions) over it could still
+  // promote the loop past Sequential in ways the un-degraded analysis
+  // would not; keep every such loop sequential.
+  if (body.degraded || degrade_rest_) {
+    plan.degraded = true;
+    plan.degrade_cause = last_cause_;
+    return finish(LoopStatus::Sequential,
+                  "analysis budget exhausted (" + last_cause_ + ")");
+  }
+
   // ---------------- candidacy ----------------
   if (body.has_sink) {
     return finish(LoopStatus::NotCandidate, "contains I/O (sink)");
@@ -1331,6 +1530,7 @@ RegionSummary Analyzer::promoteLoop(const ForStmt& loop,
                                     const RegionSummary& body) {
   RegionSummary out;
   out.has_sink = body.has_sink;
+  out.degraded = body.degraded;
   pb::VarId i_var = vt_.idFor(loop.index_decl);
   std::vector<pb::VarId> aux;
   pb::System bounds = boundsFor(loop, i_var, &aux);
@@ -1479,14 +1679,52 @@ RegionSummary Analyzer::promoteLoop(const ForStmt& loop,
 }
 
 RegionSummary Analyzer::analyzeFor(const ForStmt& loop) {
+  // After an earlier exhaustion, stop spending analysis work entirely:
+  // plan the whole nest sequentially and summarize it conservatively.
+  if (degrade_rest_) {
+    degradePlan(loop);
+    degradeUnplannedLoops(*loop.body);
+    RegionSummary out = conservativeBlockSummary(*loop.body, nullptr);
+    noteConservativeVars(*loop.lower, out);
+    noteConservativeVars(*loop.upper, out);
+    if (loop.step) noteConservativeVars(*loop.step, out);
+    out.scalars.erase(loop.index_decl);
+    return out;
+  }
+
+  if (AnalysisBudget* b = AnalysisBudget::current()) b->beginLoop();
   // Push this loop's bounds as context for the analysis of nested loops,
   // but pop before planning this loop itself (its own index is
   // substituted by iteration instances in the dependence systems).
   loop_ctx_.push_back(boundsFor(loop, vt_.idFor(loop.index_decl), nullptr));
-  RegionSummary body = analyzeBlock(*loop.body);
+  RegionSummary body;
+  try {
+    body = analyzeBlock(*loop.body);
+  } catch (const BudgetExceeded& e) {
+    recordExhaustion(e);
+    body = conservativeBlockSummary(*loop.body, nullptr);
+  }
   loop_ctx_.pop_back();
-  planLoop(loop, body);
-  RegionSummary promoted = promoteLoop(loop, body);
+
+  // Fresh per-loop FM slice for planning this loop (the body's slice was
+  // consumed by any nested loops).
+  if (AnalysisBudget* b = AnalysisBudget::current()) b->beginLoop();
+  try {
+    planLoop(loop, body);
+  } catch (const BudgetExceeded& e) {
+    recordExhaustion(e);
+    degradePlan(loop);
+  }
+  // Loops the conservative body fallback skipped also degrade.
+  degradeUnplannedLoops(*loop.body);
+
+  RegionSummary promoted;
+  try {
+    promoted = promoteLoop(loop, body);
+  } catch (const BudgetExceeded& e) {
+    recordExhaustion(e);
+    promoted = conservativeBlockSummary(*loop.body, loop.index_decl);
+  }
   // Bound expressions are read at loop entry.
   RegionSummary bounds_reads;
   collectReads(*loop.lower, bounds_reads);

@@ -12,6 +12,8 @@
 #include "dataflow/loop_plan.h"
 #include "dataflow/summary.h"
 #include "lang/ast.h"
+#include "support/budget.h"
+#include "support/fault_injection.h"
 
 namespace padfa {
 
@@ -31,6 +33,15 @@ struct AnalysisConfig {
   /// is conservative here; the predicated system reasons about exactly
   /// which elements stay exposed, making copy-in privatization safe.
   bool copy_in_privatization = true;
+
+  /// Resource governance. The analysis never crashes on exhaustion: loops
+  /// whose analysis blows a budget are conservatively kept sequential and
+  /// flagged `degraded` in their LoopPlan. Defaults are unlimited (plus a
+  /// deep recursion backstop) and are refined by PADFA_BUDGET_* env vars.
+  BudgetLimits budget = BudgetLimits::defaults();
+  /// Optional fault injector forcing synthetic exhaustion at probe points
+  /// (testing only; when null, PADFA_FAULT_RATE can configure one).
+  FaultInjector* injector = nullptr;
 
   static AnalysisConfig baseline() {
     return {false, false, false, false, false};

@@ -12,4 +12,11 @@ std::string_view loopStatusName(LoopStatus s) {
   return "?";
 }
 
+size_t AnalysisResult::degradedCount() const {
+  size_t n = 0;
+  for (const auto& [loop, plan] : plans)
+    if (plan.degraded) ++n;
+  return n;
+}
+
 }  // namespace padfa

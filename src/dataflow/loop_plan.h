@@ -54,6 +54,15 @@ struct LoopPlan {
   /// Human-readable reason when Sequential / NotCandidate.
   std::string reason;
 
+  /// True when the plan is a fallback forced by resource budget
+  /// exhaustion (or injected faults) rather than a full analysis verdict.
+  /// The analysis itself only ever emits degraded plans as Sequential;
+  /// the driver may substitute the (independently sound) baseline plan
+  /// for a degraded predicated one, keeping this flag for telemetry.
+  bool degraded = false;
+  /// Which budget gave out (see budgetCauseName), when degraded.
+  std::string degrade_cause;
+
   // Attribution flags for the evaluation's per-loop categories.
   bool used_predicates = false;   // guards were needed to pass a test
   bool used_embedding = false;    // guard constraints embedded in sections
@@ -68,10 +77,24 @@ struct AnalysisResult {
   /// Wall-clock cost of the analysis itself (Experiment E6).
   double analysis_seconds = 0;
 
+  // --- degradation telemetry (resource governance) ---
+  /// Exhaustion causes observed during this analysis, with counts.
+  std::map<std::string, uint64_t> exhaustion_causes;
+  /// True when a sticky (global) budget cause fired; the remainder of the
+  /// analysis after that point is wholly conservative.
+  bool degraded_globally = false;
+  /// Budget meters at the end of the analysis (0 when no budget active).
+  uint64_t fm_steps = 0;
+  uint64_t constraints_built = 0;
+  uint64_t pieces_touched = 0;
+
   const LoopPlan* planFor(const ForStmt* loop) const {
     auto it = plans.find(loop);
     return it == plans.end() ? nullptr : &it->second;
   }
+
+  /// Number of plans carrying the `degraded` flag.
+  size_t degradedCount() const;
 };
 
 }  // namespace padfa

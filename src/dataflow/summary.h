@@ -64,6 +64,12 @@ struct RegionSummary {
   std::map<const VarDecl*, ScalarEffect> scalars;
   /// Loops (in this region, any depth) that carry a sink() call.
   bool has_sink = false;
+  /// True when a resource-budget exhaustion forced a conservative
+  /// fallback somewhere inside this region (or a callee summarized under
+  /// one). Any loop whose planning consumes a degraded summary is itself
+  /// conservatively kept sequential — degradation only ever removes
+  /// parallelism, preserving plan monotonicity.
+  bool degraded = false;
 
   ArraySummary& arrayFor(const VarDecl* decl) {
     auto& s = arrays[decl];

@@ -11,6 +11,20 @@ std::optional<CompiledProgram> compileSource(const std::string& source,
   cp.loops = LoopTree::build(*program);
   cp.base = analyzeProgram(*program, AnalysisConfig::baseline());
   cp.pred = analyzeProgram(*program, AnalysisConfig::predicated());
+  // Graceful degradation ladder: a loop whose *predicated* analysis blew
+  // its budget falls back to the baseline plan for that loop when the
+  // baseline completed (it is independently sound); the fallback keeps
+  // the degraded flag for telemetry. A degraded baseline plan stays
+  // Sequential — the bottom of the ladder is "no parallel loops".
+  for (auto& [loop, pplan] : cp.pred.plans) {
+    if (!pplan.degraded) continue;
+    const LoopPlan* bplan = cp.base.planFor(loop);
+    if (!bplan || bplan->degraded) continue;
+    std::string cause = std::move(pplan.degrade_cause);
+    pplan = *bplan;
+    pplan.degraded = true;
+    pplan.degrade_cause = std::move(cause);
+  }
   cp.program = std::move(program);
   return cp;
 }

@@ -355,7 +355,13 @@ class Interp {
         cell.array = std::move(view);
       }
     }
-    execProc(callee, callee_frame);
+    try {
+      execProc(callee, callee_frame);
+    } catch (const RuntimeError& e) {
+      // Rewrap with a call-stack frame so a fault deep in a callee chain
+      // reports every call site on the way down.
+      throw RuntimeError(e, program_.interner.str(callee.name), s.loc);
+    }
     return false;
   }
 
@@ -380,8 +386,18 @@ class Interp {
     if (plan && plan->status == LoopStatus::RuntimeTest) {
       ++stats_.runtime_tests_evaluated;
       stats_.runtime_test_atoms += plan->runtime_test.atomCount();
-      bool pass = plan->runtime_test.evaluate(
-          [&](const Expr& e) { return eval(e, frame).asReal(); });
+      bool pass = false;
+      try {
+        pass = plan->runtime_test.evaluate(
+            [&](const Expr& e) { return eval(e, frame).asReal(); });
+      } catch (const RuntimeError&) {
+        // A test whose own evaluation faults (division by zero, bad
+        // subscript in an atom) must not crash the dispatch: treat it as
+        // failed and take the sequential version, which reproduces the
+        // fault exactly when the original program would.
+        ++stats_.runtime_tests_trapped;
+        pass = false;
+      }
       if (pass)
         ++stats_.runtime_tests_passed;
       else
@@ -516,6 +532,10 @@ class Interp {
       auto [first, last] = chunks[t];
       Frame& tf = thread_frames[t];
       for (int64_t i = first; i <= last; i += step) {
+        // Cooperative cancellation: when a sibling worker faulted there
+        // is no point finishing this chunk — the dispatch rethrows the
+        // sibling's error at the barrier anyway.
+        if (pool_->cancelRequested()) break;
         tf[loop.index_decl->local_id].i = i;
         execBlock(*loop.body, tf);
       }

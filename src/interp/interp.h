@@ -54,6 +54,14 @@ struct ArrayStorage {
 struct RuntimeError : std::runtime_error {
   RuntimeError(SourceLoc loc, const std::string& msg)
       : std::runtime_error("runtime error at " + loc.str() + ": " + msg) {}
+
+  /// Wrap an error propagating out of a procedure call: appends one
+  /// "in call to 'proc' at <site>" frame, so the final message carries
+  /// the full procedure call stack innermost-first.
+  RuntimeError(const RuntimeError& inner, std::string_view proc,
+               SourceLoc call_site)
+      : std::runtime_error(std::string(inner.what()) + "\n  in call to '" +
+                           std::string(proc) + "' at " + call_site.str()) {}
 };
 
 struct LoopProfile {
@@ -68,6 +76,11 @@ struct InterpStats {
   uint64_t parallel_loops_entered = 0;
   uint64_t runtime_tests_evaluated = 0;
   uint64_t runtime_tests_passed = 0;
+  /// Tests whose evaluation itself faulted (e.g. division by zero in an
+  /// atom): the two-version dispatch traps the fault and takes the
+  /// sequential version, which reproduces the fault iff the original
+  /// program would have.
+  uint64_t runtime_tests_trapped = 0;
   uint64_t runtime_test_atoms = 0;  // total atoms evaluated (test cost)
   std::map<const ForStmt*, LoopProfile> profiles;
   double total_seconds = 0;

@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "support/budget.h"
+
 namespace padfa::pb {
+
+namespace {
+
+// Cooperative budget check point for piece-level set operations; no-op
+// unless a BudgetScope is active on this thread.
+void chargePieces(size_t n) {
+  if (AnalysisBudget* budget = AnalysisBudget::current())
+    budget->chargePieces(n);
+}
+
+}  // namespace
 
 void Set::simplify() {
   std::vector<System> out;
@@ -23,6 +36,7 @@ bool Set::isEmpty() const {
 }
 
 void Set::unionWith(const Set& o) {
+  chargePieces(o.pieces_.size());
   exact_ = exact_ && o.exact_;
   pieces_.insert(pieces_.end(), o.pieces_.begin(), o.pieces_.end());
   if (pieces_.size() > kMaxPieces) {
@@ -34,6 +48,7 @@ void Set::unionWith(const Set& o) {
 }
 
 Set Set::intersect(const Set& o) const {
+  chargePieces(pieces_.size() * o.pieces_.size());
   Set out;
   out.exact_ = exact_ && o.exact_;
   for (const auto& a : pieces_) {
@@ -78,6 +93,7 @@ Set Set::subtract(const Set& o) const {
           ges.push_back(Constraint::ge0(c.expr.negated()));
         }
       }
+      chargePieces(ges.size());
       System prefix = a;
       for (size_t j = 0; j < ges.size(); ++j) {
         System piece = prefix;

@@ -4,6 +4,8 @@
 #include <map>
 #include <numeric>
 
+#include "support/budget.h"
+
 namespace padfa::pb {
 
 namespace {
@@ -150,6 +152,10 @@ bool System::eliminate(VarId v) {
 }
 
 bool System::eliminateTracked(VarId v, bool& exact) {
+  // Cooperative budget check point: one FM elimination step, charged at
+  // the current constraint count. No-op unless a BudgetScope is active.
+  if (AnalysisBudget* budget = AnalysisBudget::current())
+    budget->chargeFmStep(constraints_.size());
   // Prefer substitution using an equality with coefficient ±1 on v.
   for (size_t i = 0; i < constraints_.size(); ++i) {
     const Constraint& c = constraints_[i];

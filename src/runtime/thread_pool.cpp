@@ -32,6 +32,7 @@ void ThreadPool::workerLoop(unsigned index) {
     try {
       (*job)(index);
     } catch (...) {
+      requestCancel();  // tell sibling workers to stop early
       std::lock_guard<std::mutex> lock(mu_);
       if (!error_) error_ = std::current_exception();
     }
@@ -43,6 +44,7 @@ void ThreadPool::workerLoop(unsigned index) {
 }
 
 void ThreadPool::runOnAll(const std::function<void(unsigned)>& fn) {
+  cancel_.store(false, std::memory_order_relaxed);
   if (workers_.empty()) {
     fn(0);
     return;
@@ -59,6 +61,7 @@ void ThreadPool::runOnAll(const std::function<void(unsigned)>& fn) {
   try {
     fn(0);
   } catch (...) {
+    requestCancel();
     caller_error = std::current_exception();
   }
   {

@@ -5,6 +5,7 @@
 // chunk of the iteration space, with a barrier at loop exit.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -29,6 +30,16 @@ class ThreadPool {
   /// are rethrown on the caller (first one wins).
   void runOnAll(const std::function<void(unsigned)>& fn);
 
+  /// Cooperative cancellation: set automatically when any worker throws
+  /// during the current runOnAll dispatch (and resettable by jobs that
+  /// want to stop their siblings). Long-running jobs poll this between
+  /// iterations and bail out early; the dispatch still rethrows the
+  /// first error after the barrier.
+  void requestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool cancelRequested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
  private:
   void workerLoop(unsigned index);
 
@@ -41,6 +52,7 @@ class ThreadPool {
   unsigned remaining_ = 0;
   bool stop_ = false;
   std::exception_ptr error_;
+  std::atomic<bool> cancel_{false};
 };
 
 /// Split the inclusive iteration range [lo, hi] with stride `step` into

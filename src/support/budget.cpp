@@ -1,0 +1,142 @@
+#include "support/budget.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "support/fault_injection.h"
+
+namespace padfa {
+
+namespace {
+
+thread_local AnalysisBudget* g_current_budget = nullptr;
+
+double monotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t envU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+}
+
+}  // namespace
+
+BudgetLimits BudgetLimits::defaults() {
+  BudgetLimits l;
+  // Inert on any real program; only a stack-overflow backstop is armed.
+  l.max_recursion_depth = 4096;
+  return l;
+}
+
+BudgetLimits BudgetLimits::fromEnv(const BudgetLimits& base) {
+  BudgetLimits l = base;
+  if (const char* ms = std::getenv("PADFA_BUDGET_DEADLINE_MS"))
+    if (*ms) l.deadline_seconds = std::strtod(ms, nullptr) / 1000.0;
+  l.max_fm_steps = envU64("PADFA_BUDGET_FM_STEPS", l.max_fm_steps);
+  l.max_loop_fm_steps =
+      envU64("PADFA_BUDGET_LOOP_FM_STEPS", l.max_loop_fm_steps);
+  l.max_constraints = envU64("PADFA_BUDGET_CONSTRAINTS", l.max_constraints);
+  l.max_pieces = envU64("PADFA_BUDGET_PIECES", l.max_pieces);
+  l.max_recursion_depth = static_cast<uint32_t>(
+      envU64("PADFA_BUDGET_RECURSION", l.max_recursion_depth));
+  return l;
+}
+
+const char* budgetCauseName(BudgetCause cause) {
+  switch (cause) {
+    case BudgetCause::Deadline: return "deadline";
+    case BudgetCause::FmSteps: return "fm-steps";
+    case BudgetCause::LoopFmSteps: return "loop-fm-steps";
+    case BudgetCause::Constraints: return "constraints";
+    case BudgetCause::Pieces: return "pieces";
+    case BudgetCause::Recursion: return "recursion";
+    case BudgetCause::Injected: return "injected";
+  }
+  return "?";
+}
+
+BudgetExceeded::BudgetExceeded(BudgetCause cause)
+    : cause_(cause),
+      message_(std::string("analysis budget exhausted: ") +
+               budgetCauseName(cause)) {}
+
+AnalysisBudget::AnalysisBudget(const BudgetLimits& limits,
+                               FaultInjector* injector)
+    : limits_(limits), injector_(injector) {
+  if (limits_.deadline_seconds > 0)
+    deadline_at_ = monotonicSeconds() + limits_.deadline_seconds;
+}
+
+AnalysisBudget* AnalysisBudget::current() { return g_current_budget; }
+
+void AnalysisBudget::beginLoop() { loop_fm_steps_ = 0; }
+
+void AnalysisBudget::blow(BudgetCause cause) {
+  // Global dimensions are sticky: the remaining pipeline should degrade
+  // immediately at its next charge point rather than re-pay partial work
+  // against a budget that cannot recover. Per-loop slices reset at the
+  // next beginLoop(); injected faults are transient by design.
+  if (cause != BudgetCause::LoopFmSteps && cause != BudgetCause::Injected &&
+      cause != BudgetCause::Recursion) {
+    exhausted_ = true;
+    cause_ = cause;
+  }
+  throw BudgetExceeded(cause);
+}
+
+void AnalysisBudget::probe() {
+  if (injector_ && injector_->shouldFire()) blow(BudgetCause::Injected);
+  // Deadline checks are subsampled: the clock read is ~20ns, charge
+  // points can run millions of times.
+  if (deadline_at_ > 0 && (++probe_tick_ & 0xFF) == 0 &&
+      monotonicSeconds() > deadline_at_)
+    blow(BudgetCause::Deadline);
+}
+
+void AnalysisBudget::chargeFmStep(uint64_t constraints) {
+  if (exhausted_) throw BudgetExceeded(cause_);
+  ++fm_steps_;
+  ++loop_fm_steps_;
+  constraints_ += constraints;
+  if (limits_.max_fm_steps && fm_steps_ > limits_.max_fm_steps)
+    blow(BudgetCause::FmSteps);
+  if (limits_.max_loop_fm_steps && loop_fm_steps_ > limits_.max_loop_fm_steps)
+    blow(BudgetCause::LoopFmSteps);
+  if (limits_.max_constraints && constraints_ > limits_.max_constraints)
+    blow(BudgetCause::Constraints);
+  probe();
+}
+
+void AnalysisBudget::chargePieces(uint64_t pieces) {
+  if (exhausted_) throw BudgetExceeded(cause_);
+  pieces_ += pieces;
+  if (limits_.max_pieces && pieces_ > limits_.max_pieces)
+    blow(BudgetCause::Pieces);
+  probe();
+}
+
+void AnalysisBudget::enterRecursion() {
+  if (exhausted_) throw BudgetExceeded(cause_);
+  // Check before incrementing: a throwing enterRecursion() means the
+  // guard's constructor never completes, so its destructor (and the
+  // matching decrement) would not run.
+  if (limits_.max_recursion_depth && depth_ + 1 > limits_.max_recursion_depth)
+    blow(BudgetCause::Recursion);
+  ++depth_;
+}
+
+void AnalysisBudget::leaveRecursion() {
+  if (depth_ > 0) --depth_;
+}
+
+BudgetScope::BudgetScope(AnalysisBudget& b) : prev_(g_current_budget) {
+  g_current_budget = &b;
+}
+
+BudgetScope::~BudgetScope() { g_current_budget = prev_; }
+
+}  // namespace padfa

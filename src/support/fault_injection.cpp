@@ -1,0 +1,51 @@
+#include "support/fault_injection.h"
+
+#include <cstdlib>
+
+namespace padfa {
+
+namespace {
+
+// splitmix64: tiny, well-distributed, and stateless per step.
+uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(uint64_t seed, double rate) : state_(seed) {
+  if (rate <= 0) {
+    threshold_ = 0;
+  } else if (rate >= 1) {
+    threshold_ = UINT64_MAX;
+  } else {
+    threshold_ = static_cast<uint64_t>(
+        rate * 18446744073709551616.0 /* 2^64 */);
+  }
+  // Decorrelate trivially related seeds (0, 1, 2, ...).
+  splitmix64(state_);
+}
+
+std::optional<FaultInjector> FaultInjector::fromEnv() {
+  const char* rate_s = std::getenv("PADFA_FAULT_RATE");
+  if (!rate_s || !*rate_s) return std::nullopt;
+  double rate = std::strtod(rate_s, nullptr);
+  if (rate <= 0) return std::nullopt;
+  uint64_t seed = 1;
+  if (const char* seed_s = std::getenv("PADFA_FAULT_SEED"))
+    if (*seed_s) seed = std::strtoull(seed_s, nullptr, 10);
+  return FaultInjector(seed, rate);
+}
+
+bool FaultInjector::shouldFire() {
+  ++probes_;
+  if (threshold_ == 0) return false;
+  bool fire = splitmix64(state_) < threshold_;
+  if (fire) ++fired_;
+  return fire;
+}
+
+}  // namespace padfa

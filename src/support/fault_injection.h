@@ -1,0 +1,44 @@
+// Deterministic fault injection for the resource-governance subsystem.
+//
+// A FaultInjector attached to an AnalysisBudget forces synthetic budget
+// exhaustion (BudgetCause::Injected) at randomly chosen cooperative
+// probe points, with a seeded PRNG so every run is reproducible. The
+// fault-injection property test runs the corpus under injection and
+// asserts the degraded paths are sound: no crash, degraded parallel
+// plans are a subset of the uninjected plans, and interpreter output is
+// unchanged.
+//
+// Env configuration (read by analyzeProgram when no injector is passed
+// programmatically):
+//   PADFA_FAULT_RATE — fire probability per probe point, in [0, 1]
+//   PADFA_FAULT_SEED — PRNG seed (default 1)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace padfa {
+
+class FaultInjector {
+ public:
+  /// `rate` is the probability that any given probe point fires.
+  FaultInjector(uint64_t seed, double rate);
+
+  /// An injector configured from PADFA_FAULT_RATE / PADFA_FAULT_SEED, or
+  /// nullopt when PADFA_FAULT_RATE is unset or zero.
+  static std::optional<FaultInjector> fromEnv();
+
+  /// Called at every budget probe point; true means "fail here".
+  bool shouldFire();
+
+  uint64_t probes() const { return probes_; }
+  uint64_t fired() const { return fired_; }
+
+ private:
+  uint64_t state_;
+  uint64_t threshold_;  // fire when next PRNG draw < threshold
+  uint64_t probes_ = 0;
+  uint64_t fired_ = 0;
+};
+
+}  // namespace padfa

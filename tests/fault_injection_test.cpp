@@ -1,0 +1,231 @@
+// Fault-injection property harness for the resource-governance subsystem.
+//
+// Runs the whole corpus under seeded synthetic budget exhaustion (a
+// FaultInjector firing at random charge points) and asserts the graceful
+// degradation contract:
+//   1. the analysis never crashes — every BudgetExceeded is absorbed at a
+//      degradation boundary and every loop still receives a plan;
+//   2. soundness monotonicity — the injected run's parallel plan is a
+//      subset of the uninjected plan: plans finalized before the first
+//      fault are identical, everything after is Sequential + degraded;
+//   3. the analysis leaves the program untouched — sequential execution
+//      after an injected analysis is bit-identical to the reference;
+//   4. parallel execution under the degraded plans still matches the
+//      sequential checksum (reductions reorder floating-point sums, so
+//      this comparison uses the usual tolerance).
+// 30 corpus programs x 7 seeds = 210 injected runs, exceeding the 200-run
+// acceptance floor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corpus/corpus.h"
+#include "driver/padfa.h"
+#include "support/fault_injection.h"
+
+namespace padfa {
+namespace {
+
+constexpr int kSeedsPerProgram = 7;
+constexpr double kFaultRate = 0.002;  // per charge point
+
+class CorpusFaultInjection : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusFaultInjection, DegradesSoundlyUnderInjectedExhaustion) {
+  const CorpusEntry& entry = corpus()[static_cast<size_t>(GetParam())];
+  SCOPED_TRACE(entry.name);
+  std::string source = instantiate(entry);
+
+  DiagEngine diags;
+  auto program = parseProgram(source, diags);
+  ASSERT_TRUE(program) << diags.dump();
+  ASSERT_TRUE(analyze(*program, diags)) << diags.dump();
+
+  // Uninjected reference: plans and sequential output.
+  AnalysisResult ref = analyzeProgram(*program, AnalysisConfig::predicated());
+  InterpStats ref_seq = execute(*program, {});
+  double tol = 1e-9 * (std::abs(ref_seq.checksum) + 1.0);
+
+  for (int seed = 1; seed <= kSeedsPerProgram; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    FaultInjector injector(static_cast<uint64_t>(seed) * 7919 +
+                               static_cast<uint64_t>(GetParam()),
+                           kFaultRate);
+    AnalysisConfig cfg = AnalysisConfig::predicated();
+    cfg.injector = &injector;
+
+    // (1) Must not throw; every loop of the reference run must still be
+    // planned (conservative fallbacks plan loops they skip).
+    AnalysisResult res = analyzeProgram(*program, cfg);
+    EXPECT_EQ(res.plans.size(), ref.plans.size());
+
+    // (2) Monotonicity: identical prefix, Sequential suffix.
+    for (const auto& [loop, plan] : res.plans) {
+      const LoopPlan* rp = ref.planFor(loop);
+      ASSERT_NE(rp, nullptr) << "plan for a loop the reference never saw";
+      if (plan.degraded) {
+        EXPECT_EQ(plan.status, LoopStatus::Sequential)
+            << "degraded plan must be conservative";
+        EXPECT_FALSE(plan.degrade_cause.empty());
+      } else {
+        EXPECT_EQ(plan.status, rp->status)
+            << "non-degraded plan diverged from the uninjected run";
+      }
+    }
+    if (res.degradedCount() > 0) {
+      EXPECT_FALSE(res.exhaustion_causes.empty());
+      EXPECT_TRUE(res.exhaustion_causes.count("injected"));
+    }
+
+    // (4) Execution under the degraded plans stays correct.
+    InterpOptions popt;
+    popt.plans = &res;
+    popt.num_threads = 3;
+    InterpStats par = execute(*program, popt);
+    EXPECT_NEAR(par.checksum, ref_seq.checksum, tol)
+        << "parallel execution under degraded plans diverged";
+  }
+
+  // (3) The injected analyses must not have corrupted the program:
+  // sequential execution is bit-identical to the pre-injection reference.
+  InterpStats seq_after = execute(*program, {});
+  EXPECT_EQ(seq_after.checksum, ref_seq.checksum)
+      << "sequential output changed after injected analyses";
+  EXPECT_EQ(seq_after.sink_count, ref_seq.sink_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, CorpusFaultInjection,
+                         ::testing::Range(0, 30));
+
+TEST(FaultInjectionHarness, InjectionActuallyFires) {
+  // Sanity that the harness is not vacuous: at rate 1.0 the very first
+  // charge point fires, so a corpus program must come back degraded. If
+  // this fails, the probe points are disconnected from the analysis.
+  const CorpusEntry& entry = corpus()[0];
+  std::string source = instantiate(entry);
+  DiagEngine diags;
+  auto program = parseProgram(source, diags);
+  ASSERT_TRUE(program) << diags.dump();
+  ASSERT_TRUE(analyze(*program, diags)) << diags.dump();
+
+  FaultInjector injector(1, 1.0);
+  AnalysisConfig cfg = AnalysisConfig::predicated();
+  cfg.injector = &injector;
+  AnalysisResult res = analyzeProgram(*program, cfg);
+  EXPECT_GT(injector.fired(), 0u);
+  EXPECT_GT(res.degradedCount(), 0u);
+  EXPECT_TRUE(res.exhaustion_causes.count("injected"));
+  for (const auto& [loop, plan] : res.plans)
+    if (plan.degraded) {
+      EXPECT_EQ(plan.status, LoopStatus::Sequential);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic budget starvation (no injector): the same degradation
+// boundaries absorb real resource exhaustion.
+
+TEST(BudgetStarvation, GlobalFmCapDegradesEverythingWithoutCrashing) {
+  const CorpusEntry& entry = corpus()[0];
+  std::string source = instantiate(entry);
+  DiagEngine diags;
+  auto program = parseProgram(source, diags);
+  ASSERT_TRUE(program) << diags.dump();
+  ASSERT_TRUE(analyze(*program, diags)) << diags.dump();
+
+  AnalysisResult ref = analyzeProgram(*program, AnalysisConfig::predicated());
+
+  AnalysisConfig cfg = AnalysisConfig::predicated();
+  cfg.budget.max_fm_steps = 1;  // blows at the first elimination
+  AnalysisResult res = analyzeProgram(*program, cfg);
+
+  EXPECT_EQ(res.plans.size(), ref.plans.size());
+  EXPECT_GT(res.degradedCount(), 0u);
+  EXPECT_TRUE(res.degraded_globally);
+  EXPECT_TRUE(res.exhaustion_causes.count("fm-steps"));
+  for (const auto& [loop, plan] : res.plans) {
+    if (plan.degraded) {
+      EXPECT_EQ(plan.status, LoopStatus::Sequential);
+    }
+  }
+
+  // Degraded (all-sequential) plans still execute correctly.
+  InterpStats seq = execute(*program, {});
+  InterpOptions popt;
+  popt.plans = &res;
+  popt.num_threads = 3;
+  InterpStats par = execute(*program, popt);
+  double tol = 1e-9 * (std::abs(seq.checksum) + 1.0);
+  EXPECT_NEAR(par.checksum, seq.checksum, tol);
+}
+
+TEST(BudgetStarvation, PerLoopSliceKeepsPrefixIdentical) {
+  const CorpusEntry& entry = corpus()[0];
+  std::string source = instantiate(entry);
+  DiagEngine diags;
+  auto program = parseProgram(source, diags);
+  ASSERT_TRUE(program) << diags.dump();
+  ASSERT_TRUE(analyze(*program, diags)) << diags.dump();
+
+  AnalysisResult ref = analyzeProgram(*program, AnalysisConfig::predicated());
+
+  AnalysisConfig cfg = AnalysisConfig::predicated();
+  cfg.budget.max_loop_fm_steps = 25;
+  AnalysisResult res = analyzeProgram(*program, cfg);
+
+  EXPECT_EQ(res.plans.size(), ref.plans.size());
+  for (const auto& [loop, plan] : res.plans) {
+    const LoopPlan* rp = ref.planFor(loop);
+    ASSERT_NE(rp, nullptr);
+    if (plan.degraded)
+      EXPECT_EQ(plan.status, LoopStatus::Sequential);
+    else
+      EXPECT_EQ(plan.status, rp->status);
+  }
+}
+
+TEST(BudgetStarvation, TinyDeadlineNeverCrashes) {
+  // The deadline is checked on a subsampled probe, so whether it fires
+  // depends on machine speed; the contract under test is only "no crash,
+  // complete and sound plans".
+  const CorpusEntry& entry = corpus()[1];
+  std::string source = instantiate(entry);
+  DiagEngine diags;
+  auto program = parseProgram(source, diags);
+  ASSERT_TRUE(program) << diags.dump();
+  ASSERT_TRUE(analyze(*program, diags)) << diags.dump();
+
+  AnalysisResult ref = analyzeProgram(*program, AnalysisConfig::predicated());
+
+  AnalysisConfig cfg = AnalysisConfig::predicated();
+  cfg.budget.deadline_seconds = 1e-9;
+  AnalysisResult res = analyzeProgram(*program, cfg);
+  EXPECT_EQ(res.plans.size(), ref.plans.size());
+  for (const auto& [loop, plan] : res.plans) {
+    const LoopPlan* rp = ref.planFor(loop);
+    ASSERT_NE(rp, nullptr);
+    if (plan.degraded)
+      EXPECT_EQ(plan.status, LoopStatus::Sequential);
+    else
+      EXPECT_EQ(plan.status, rp->status);
+  }
+}
+
+TEST(FaultInjectorUnit, SeededRunsAreReproducible) {
+  FaultInjector a(42, 0.25);
+  FaultInjector b(42, 0.25);
+  for (int i = 0; i < 1000; ++i)
+    ASSERT_EQ(a.shouldFire(), b.shouldFire()) << "draw " << i;
+  EXPECT_EQ(a.probes(), 1000u);
+  EXPECT_EQ(a.fired(), b.fired());
+  EXPECT_GT(a.fired(), 0u);   // rate 0.25 over 1000 draws
+  EXPECT_LT(a.fired(), 500u);
+}
+
+TEST(FaultInjectorUnit, ZeroRateNeverFires) {
+  FaultInjector inj(7, 0.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(inj.shouldFire());
+}
+
+}  // namespace
+}  // namespace padfa

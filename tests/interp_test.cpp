@@ -165,6 +165,29 @@ TEST(Interp, MissingMainThrows) {
   EXPECT_THROW(execute(*b.program, {}), RuntimeError);
 }
 
+TEST(Interp, RuntimeErrorCarriesProcedureCallStack) {
+  // A fault three procedures deep must name every frame on the way up so
+  // the message reads like a backtrace, not a bare site.
+  auto b = buildProgram(R"(
+proc inner(real v[n], int n, int i) { v[i] = 1.0; }
+proc outer(real v[n], int n) { inner(v, n, 99); }
+proc main() {
+  real a[4];
+  outer(a, 4);
+}
+)");
+  try {
+    execute(*b.program, {});
+    FAIL() << "expected RuntimeError";
+  } catch (const RuntimeError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("in call to 'inner'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("in call to 'outer'"), std::string::npos) << msg;
+    // Innermost frame is listed first (closest to the fault).
+    EXPECT_LT(msg.find("'inner'"), msg.find("'outer'")) << msg;
+  }
+}
+
 // ---- parallel execution equivalence ----
 
 TEST(Interp, ParallelSimpleLoopMatchesSequential) {

@@ -238,6 +238,50 @@ TEST_P(RandomProgram, CompileTimeParallelNeverRefutedByElpd) {
   }
 }
 
+TEST_P(RandomProgram, BudgetStarvedAnalysisDegradesSoundly) {
+  Generator gen(static_cast<uint64_t>(GetParam()) + 1);
+  std::string source = gen.generate();
+  SCOPED_TRACE(source);
+
+  DiagEngine diags;
+  auto program = parseProgram(source, diags);
+  ASSERT_TRUE(program) << diags.dump();
+  ASSERT_TRUE(analyze(*program, diags)) << diags.dump();
+
+  AnalysisResult ref =
+      analyzeProgram(*program, AnalysisConfig::predicated());
+
+  // Starve the per-loop Fourier–Motzkin slice: most generated loops blow
+  // it, and the contract is no crash + an identical-prefix/sequential-
+  // suffix plan set (degradation only ever removes parallelism).
+  AnalysisConfig starved = AnalysisConfig::predicated();
+  starved.budget.max_loop_fm_steps = 40;
+  AnalysisResult res = analyzeProgram(*program, starved);
+
+  EXPECT_EQ(res.plans.size(), ref.plans.size());
+  for (const auto& [loop, plan] : res.plans) {
+    const LoopPlan* rp = ref.planFor(loop);
+    ASSERT_NE(rp, nullptr);
+    if (plan.degraded) {
+      EXPECT_EQ(plan.status, LoopStatus::Sequential)
+          << "degraded plan must stay sequential";
+    } else {
+      EXPECT_EQ(plan.status, rp->status)
+          << "non-degraded plan diverged from the unstarved run";
+    }
+  }
+
+  // Execution under the starved plans still matches the reference.
+  InterpStats seq = execute(*program, {});
+  InterpOptions popt;
+  popt.plans = &res;
+  popt.num_threads = 3;
+  InterpStats par = execute(*program, popt);
+  double tol = 1e-9 * (std::abs(seq.checksum) + 1.0);
+  EXPECT_NEAR(par.checksum, seq.checksum, tol)
+      << "parallel execution under budget-starved plans diverged";
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram, ::testing::Range(0, 80));
 
 }  // namespace

@@ -43,7 +43,9 @@ TEST(SplitIterations, StridedSplitCoversExactly) {
   EXPECT_EQ(covered, (std::vector<int64_t>{1, 4, 7, 10, 13, 16, 19}));
   // Chunk boundaries must stay on the stride grid.
   for (auto [lo, hi] : parts)
-    if (lo <= hi) EXPECT_EQ((lo - 1) % 3, 0);
+    if (lo <= hi) {
+      EXPECT_EQ((lo - 1) % 3, 0);
+    }
 }
 
 TEST(SplitIterations, EmptyRange) {
@@ -94,6 +96,32 @@ TEST(ThreadPool, PropagatesWorkerException) {
   std::atomic<int> count{0};
   pool.runOnAll([&](unsigned) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, WorkerFailureRequestsCooperativeCancel) {
+  // One worker throws; the others poll cancelRequested() between chunks
+  // of work (as the interpreter does between loop iterations) and must
+  // observe the flag and stop early instead of grinding to completion.
+  ThreadPool pool(4);
+  std::atomic<int> chunks_done{0};
+  EXPECT_THROW(
+      pool.runOnAll([&](unsigned t) {
+        if (t == 0) throw std::runtime_error("boom");
+        for (int i = 0; i < 1000000; ++i) {
+          if (pool.cancelRequested()) return;
+          // Simulated chunk of work; keep it tiny so polling dominates.
+          chunks_done.fetch_add(1, std::memory_order_relaxed);
+        }
+      }),
+      std::runtime_error);
+  EXPECT_LT(chunks_done.load(), 3 * 1000000)
+      << "siblings never observed the cancellation request";
+  // The flag is reset on the next job: all workers run to completion.
+  std::atomic<int> full_runs{0};
+  pool.runOnAll([&](unsigned) {
+    if (!pool.cancelRequested()) full_runs.fetch_add(1);
+  });
+  EXPECT_EQ(full_runs.load(), 4);
 }
 
 // ---- ELPD collector in isolation ----

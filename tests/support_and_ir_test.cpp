@@ -84,7 +84,9 @@ std::unique_ptr<Program> compile(std::string_view src) {
   DiagEngine diags;
   auto p = parseProgram(src, diags);
   EXPECT_NE(p, nullptr) << diags.dump();
-  if (p) EXPECT_TRUE(analyze(*p, diags)) << diags.dump();
+  if (p) {
+    EXPECT_TRUE(analyze(*p, diags)) << diags.dump();
+  }
   return p;
 }
 
