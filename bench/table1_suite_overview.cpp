@@ -5,6 +5,7 @@
 // those the ELPD run-time test reports as inherently parallel on the
 // reference input. (Paper headline: >4000 loops total, base parallelizes
 // over 50%; our corpus reproduces the *shape* at smaller scale.)
+#include "audit/plan_audit.h"
 #include "bench_util.h"
 #include "support/table.h"
 
@@ -13,14 +14,24 @@ using namespace padfa::bench;
 
 int main() {
   TextTable table({"program", "suite", "loops", "base-par", "not-cand",
-                   "nested", "candidates", "ELPD-par", "degraded"});
+                   "nested", "candidates", "ELPD-par", "audit-ok",
+                   "degraded"});
   int tot_loops = 0, tot_base = 0, tot_cand = 0, tot_elpd = 0;
   int tot_degraded = 0;
+  int tot_audited = 0, tot_certified = 0, tot_unsound = 0;
   std::map<std::string, uint64_t> causes;
   std::string cur_suite;
   for (const auto& e : corpus()) {
     CompiledProgram cp = compileOrDie(e);
     ElpdCollector elpd = runElpd(cp);
+    // Independent re-verification of the base system's plans.
+    DiagEngine audit_diags;
+    AuditReport audit = auditPlans(*cp.program, cp.base, audit_diags);
+    int certified = static_cast<int>(audit.count(AuditVerdict::Independent) +
+                                     audit.count(AuditVerdict::DischargedTest));
+    tot_audited += static_cast<int>(audit.auditedCount());
+    tot_certified += certified;
+    tot_unsound += static_cast<int>(audit.count(AuditVerdict::Unsound));
     int loops = 0, base_par = 0, not_cand = 0, nested = 0, cand = 0,
         elpd_par = 0;
     for (const LoopNode* node : cp.loops.allLoops()) {
@@ -51,7 +62,10 @@ int main() {
     table.addRow({e.name, e.suite, std::to_string(loops),
                   std::to_string(base_par), std::to_string(not_cand),
                   std::to_string(nested), std::to_string(cand),
-                  std::to_string(elpd_par), std::to_string(degraded)});
+                  std::to_string(elpd_par),
+                  std::to_string(certified) + "/" +
+                      std::to_string(audit.auditedCount()),
+                  std::to_string(degraded)});
     tot_loops += loops;
     tot_base += base_par;
     tot_cand += cand;
@@ -61,7 +75,10 @@ int main() {
   table.addSeparator();
   table.addRow({"TOTAL", "", std::to_string(tot_loops),
                 std::to_string(tot_base), "", "", std::to_string(tot_cand),
-                std::to_string(tot_elpd), std::to_string(tot_degraded)});
+                std::to_string(tot_elpd),
+                std::to_string(tot_certified) + "/" +
+                    std::to_string(tot_audited),
+                std::to_string(tot_degraded)});
   std::printf("Table 1: suite overview (base system + ELPD inherent "
               "parallelism)\n%s\n",
               table.render().c_str());
@@ -71,6 +88,9 @@ int main() {
   std::printf("ELPD finds %d inherently parallel loops among %d "
               "remaining candidates\n",
               tot_elpd, tot_cand);
+  std::printf("plan auditor certifies %d/%d base plans independent "
+              "(%d unsound)\n",
+              tot_certified, tot_audited, tot_unsound);
   if (tot_degraded > 0) {
     std::printf("degraded loops: %d (budget exhaustion:", tot_degraded);
     for (const auto& [cause, n] : causes)

@@ -4,16 +4,32 @@
 //   mfc run     <file.mf|corpus:NAME> [T]    execute (T threads, default 1)
 //   mfc elpd    <file.mf|corpus:NAME>        ELPD-inspect candidate loops
 //   mfc emit    <file.mf|corpus:NAME>        emit transformed parallel MF
+//   mfc lint    <file.mf|corpus:NAME>        run the MF-lint checker battery
+//   mfc audit   <file.mf|corpus:NAME>        re-verify plans (PlanAuditor)
+//   mfc race    <file.mf|corpus:NAME>        dynamic race oracle over a run
 //   mfc list                                 list corpus programs
 //
+// Verification flags (combinable with any command, e.g. `mfc run x.mf
+// --lint --audit --race-check`):
+//   --lint            run MF-lint before the command
+//   --only=<ids>      restrict lint to comma-separated checker ids
+//   --audit           run the plan-soundness auditor
+//   --race-check      run the dynamic race oracle (sequential execution)
+//   -Werror           promote all warnings to errors
+//   -Werror=<ids>     promote only the listed diagnostic ids
+//
 // Sources can come from disk or from the built-in corpus via the
-// `corpus:` prefix.
+// `corpus:` prefix. Exit status is 1 when any enabled verifier finds a
+// problem (lint errors under -Werror, an unsound plan, a race violation).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
 
+#include "audit/lint.h"
+#include "audit/plan_audit.h"
+#include "audit/race_oracle.h"
 #include "codegen/parallel_emit.h"
 #include "corpus/corpus.h"
 #include "driver/padfa.h"
@@ -25,8 +41,10 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: mfc report|run|elpd|emit <file.mf|corpus:NAME> [threads]\n"
-      "       mfc list\n");
+      "usage: mfc report|run|elpd|emit|lint|audit|race <file.mf|corpus:NAME> "
+      "[threads]\n"
+      "       mfc list\n"
+      "flags: --lint --audit --race-check --only=<ids> -Werror[=<ids>]\n");
   return 2;
 }
 
@@ -50,6 +68,40 @@ bool loadSource(const std::string& spec, std::string& out) {
   ss << in.rdbuf();
   out = ss.str();
   return true;
+}
+
+std::vector<std::string> splitIds(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : csv) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+struct Cli {
+  std::string cmd;
+  std::string spec;
+  unsigned threads = 1;
+  bool lint = false;
+  bool audit = false;
+  bool race = false;
+  bool werror = false;
+  std::vector<std::string> werror_ids;
+  std::vector<std::string> only;
+};
+
+void applyWerror(DiagEngine& diags, const Cli& cli) {
+  if (cli.werror) diags.setWarningsAsErrors(true);
+  if (!cli.werror_ids.empty())
+    diags.setWarningsAsErrors(
+        std::set<std::string>(cli.werror_ids.begin(), cli.werror_ids.end()));
 }
 
 int report(const CompiledProgram& cp) {
@@ -140,41 +192,134 @@ int elpd(const CompiledProgram& cp) {
   return 0;
 }
 
+/// Run MF-lint; returns 1 when the engine holds errors afterwards (only
+/// possible under -Werror since checkers emit warnings/notes).
+int lint(const CompiledProgram& cp, const Cli& cli,
+         const std::string& source) {
+  DiagEngine diags;
+  applyWerror(diags, cli);
+  LintOptions opt;
+  opt.only = cli.only;
+  runLint(*cp.program, cp.loops, diags, opt);
+  std::string rendered = renderDiagnostics(diags, source, cli.spec);
+  std::fputs(rendered.c_str(), stderr);
+  if (diags.all().empty()) std::fprintf(stderr, "lint: clean\n");
+  return diags.hasErrors() ? 1 : 0;
+}
+
+/// Re-verify parallelization plans with the independent PlanAuditor.
+int audit(const CompiledProgram& cp, const Cli& cli,
+          const std::string& source) {
+  DiagEngine diags;
+  applyWerror(diags, cli);
+  int rc = 0;
+  for (const AnalysisResult* ar : {&cp.base, &cp.pred}) {
+    AuditReport rep = auditPlans(*cp.program, *ar, diags);
+    std::printf("audit (%s): %zu loop(s): %zu independent, %zu via "
+                "run-time test, %zu inconclusive, %zu UNSOUND\n",
+                ar == &cp.base ? "base" : "predicated", rep.auditedCount(),
+                rep.count(AuditVerdict::Independent),
+                rep.count(AuditVerdict::DischargedTest),
+                rep.count(AuditVerdict::Inconclusive),
+                rep.count(AuditVerdict::Unsound));
+    for (const auto& la : rep.loops) {
+      std::printf("  %-16s %-14s %s (%zu access(es), %zu pair(s))\n",
+                  la.loop->loop_id.c_str(),
+                  std::string(loopStatusName(la.status)).c_str(),
+                  std::string(auditVerdictName(la.verdict)).c_str(),
+                  la.accesses, la.pairs_tested);
+      for (const auto& n : la.notes) std::printf("      %s\n", n.c_str());
+    }
+    if (!rep.clean()) rc = 1;
+  }
+  std::string rendered = renderDiagnostics(diags, source, cli.spec);
+  std::fputs(rendered.c_str(), stderr);
+  return diags.hasErrors() ? 1 : rc;
+}
+
+/// Execute sequentially under the dynamic race oracle.
+int raceCheck(const CompiledProgram& cp) {
+  RaceOracle oracle(*cp.program, cp.pred);
+  InterpOptions opt;
+  opt.plans = &cp.pred;
+  opt.race = &oracle;
+  execute(*cp.program, opt);
+  std::fputs(oracle.report(cp.program->interner).c_str(), stdout);
+  std::printf("race check: %zu audited loop(s), %zu violation(s), %llu "
+              "access(es) shadowed\n",
+              oracle.auditedCount(), oracle.violationCount(),
+              static_cast<unsigned long long>(oracle.totalAccesses()));
+  return oracle.violationCount() > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::strcmp(argv[1], "list") == 0) {
+  Cli cli;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--lint") cli.lint = true;
+    else if (a == "--audit") cli.audit = true;
+    else if (a == "--race-check") cli.race = true;
+    else if (a == "-Werror") cli.werror = true;
+    else if (a.rfind("-Werror=", 0) == 0) {
+      for (auto& id : splitIds(a.substr(8))) cli.werror_ids.push_back(id);
+    } else if (a.rfind("--only=", 0) == 0) {
+      cli.only = splitIds(a.substr(7));
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
+      return usage();
+    } else {
+      pos.push_back(a);
+    }
+  }
+  if (!pos.empty()) cli.cmd = pos[0];
+  if (pos.size() > 1) cli.spec = pos[1];
+  if (pos.size() > 2) cli.threads = static_cast<unsigned>(std::atoi(pos[2].c_str()));
+
+  if (cli.cmd == "list") {
     for (const auto& e : corpus())
       std::printf("%-12s %s\n", e.name.c_str(), e.suite.c_str());
     return 0;
   }
-  if (argc < 3) return usage();
+  if (cli.cmd.empty() || cli.spec.empty()) return usage();
+  // Verifier subcommands are sugar for the matching flag.
+  if (cli.cmd == "lint") cli.lint = true;
+  if (cli.cmd == "audit") cli.audit = true;
+  if (cli.cmd == "race") cli.race = true;
+
   std::string source;
-  if (!loadSource(argv[2], source)) return 1;
+  if (!loadSource(cli.spec, source)) return 1;
   DiagEngine diags;
+  applyWerror(diags, cli);
   auto cp = compileSource(source, diags);
   if (!cp) {
-    std::fprintf(stderr, "%s", diags.dump().c_str());
+    std::fputs(renderDiagnostics(diags, source, cli.spec).c_str(), stderr);
     return 1;
   }
+
+  int rc = 0;
   try {
-    if (std::strcmp(argv[1], "report") == 0) return report(*cp);
-    if (std::strcmp(argv[1], "run") == 0)
-      return run(*cp,
-                 argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 1);
-    if (std::strcmp(argv[1], "elpd") == 0) return elpd(*cp);
+    if (cli.lint) rc |= lint(*cp, cli, source);
+    if (cli.audit) rc |= audit(*cp, cli, source);
+    if (cli.race) rc |= raceCheck(*cp);
+    if (cli.cmd == "report") rc |= report(*cp);
+    else if (cli.cmd == "run") rc |= run(*cp, cli.threads);
+    else if (cli.cmd == "elpd") rc |= elpd(*cp);
+    else if (cli.cmd == "emit") {
+      EmitStats stats;
+      std::string out = emitParallelProgram(*cp->program, cp->pred, &stats);
+      std::fputs(out.c_str(), stdout);
+      std::fprintf(stderr, "// %d parallel annotation(s), %d two-version "
+                   "loop(s)\n",
+                   stats.parallel_annotations, stats.two_version_loops);
+    } else if (cli.cmd != "lint" && cli.cmd != "audit" && cli.cmd != "race") {
+      return usage();
+    }
   } catch (const RuntimeError& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
-  if (std::strcmp(argv[1], "emit") == 0) {
-    EmitStats stats;
-    std::string out = emitParallelProgram(*cp->program, cp->pred, &stats);
-    std::fputs(out.c_str(), stdout);
-    std::fprintf(stderr, "// %d parallel annotation(s), %d two-version "
-                 "loop(s)\n",
-                 stats.parallel_annotations, stats.two_version_loops);
-    return 0;
-  }
-  return usage();
+  return rc;
 }

@@ -1,0 +1,593 @@
+#include "audit/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "predicate/pred.h"
+#include "presburger/set.h"
+#include "symbolic/affine.h"
+#include "symbolic/vartable.h"
+
+namespace padfa {
+
+namespace {
+
+bool wanted(const LintOptions& opt, const char* id) {
+  if (opt.only.empty()) return true;
+  return std::find(opt.only.begin(), opt.only.end(), id) != opt.only.end();
+}
+
+// ------------------------------------------------------------------------
+// Reference counting: reads/writes per VarDecl across the whole program.
+// Drives padfa-unused and padfa-dead-store.
+
+struct RefCounts {
+  std::map<const VarDecl*, int> reads;
+  std::map<const VarDecl*, int> writes;
+};
+
+void countExprReads(const Expr& e, RefCounts& rc) {
+  std::vector<const VarDecl*> vs;
+  collectVars(e, vs);
+  for (const VarDecl* d : vs) rc.reads[d]++;
+}
+
+void countStmt(const Stmt& s, RefCounts& rc);
+
+void countBlock(const BlockStmt& b, RefCounts& rc) {
+  for (const auto& d : b.decls) {
+    for (const auto& dim : d->dims) countExprReads(*dim, rc);
+    if (d->init) countExprReads(*d->init, rc);
+  }
+  for (const auto& st : b.stmts) countStmt(*st, rc);
+}
+
+void countStmt(const Stmt& s, RefCounts& rc) {
+  switch (s.kind) {
+    case StmtKind::Assign: {
+      const auto& as = static_cast<const AssignStmt&>(s);
+      countExprReads(*as.value, rc);
+      if (as.target->kind == ExprKind::ArrayRef) {
+        const auto& ref = static_cast<const ArrayRefExpr&>(*as.target);
+        for (const auto& idx : ref.indices) countExprReads(*idx, rc);
+        rc.writes[ref.decl]++;
+      } else {
+        rc.writes[static_cast<const VarRefExpr&>(*as.target).decl]++;
+      }
+      break;
+    }
+    case StmtKind::If: {
+      const auto& i = static_cast<const IfStmt&>(s);
+      countExprReads(*i.cond, rc);
+      countBlock(*i.then_block, rc);
+      if (i.else_block) countBlock(*i.else_block, rc);
+      break;
+    }
+    case StmtKind::For: {
+      const auto& f = static_cast<const ForStmt&>(s);
+      countExprReads(*f.lower, rc);
+      countExprReads(*f.upper, rc);
+      if (f.step) countExprReads(*f.step, rc);
+      countBlock(*f.body, rc);
+      break;
+    }
+    case StmtKind::Call: {
+      const auto& c = static_cast<const CallStmt&>(s);
+      for (const auto& a : c.args) {
+        countExprReads(*a, rc);
+        // A whole-array argument may also be written by the callee.
+        if (a->kind == ExprKind::VarRef) {
+          const auto& vr = static_cast<const VarRefExpr&>(*a);
+          if (vr.decl && vr.decl->isArray()) rc.writes[vr.decl]++;
+        }
+      }
+      break;
+    }
+    case StmtKind::Block:
+      countBlock(static_cast<const BlockStmt&>(s), rc);
+      break;
+    case StmtKind::Return:
+      break;
+  }
+}
+
+void checkUnusedAndDeadStores(const Program& program, DiagEngine& diags,
+                              const LintOptions& opt) {
+  RefCounts rc;
+  for (const auto& proc : program.procs) {
+    // Array-parameter extents ("real x[n]") read the scalars they name.
+    for (const auto& p : proc->params)
+      for (const auto& dim : p->dims) countExprReads(*dim, rc);
+    countBlock(*proc->body, rc);
+  }
+  for (const auto& proc : program.procs) {
+    for (const VarDecl* d : proc->all_vars) {
+      if (d->is_loop_index) continue;  // driven by its loop
+      int reads = rc.reads.count(d) ? rc.reads.at(d) : 0;
+      int writes = rc.writes.count(d) ? rc.writes.at(d) : 0;
+      std::string name(program.interner.str(d->name));
+      if (reads == 0 && writes == 0) {
+        if (wanted(opt, "padfa-unused"))
+          diags.warning(d->loc,
+                        std::string(d->is_param ? "parameter '" : "variable '") +
+                            name + "' is never used",
+                        "padfa-unused");
+        continue;
+      }
+      // Writes to array parameters escape to the caller; a scalar
+      // parameter is by-value, so a never-read one is a dead store.
+      if (d->is_param && d->isArray()) continue;
+      if (reads == 0 && writes > 0 && wanted(opt, "padfa-dead-store")) {
+        diags.warning(d->loc,
+                      (d->isArray() ? "array '" : "variable '") + name +
+                          "' is written but its value is never read",
+                      "padfa-dead-store");
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------------
+// Shadowing: a declaration whose name is already bound in an enclosing
+// scope (param, outer block declaration, or enclosing loop index).
+
+void walkShadow(const Program& program, const BlockStmt& block,
+                std::vector<const VarDecl*>& scope, DiagEngine& diags) {
+  size_t mark = scope.size();
+  for (const auto& d : block.decls) {
+    for (size_t i = 0; i < mark; ++i) {
+      if (scope[i]->name == d->name) {
+        std::string name(program.interner.str(d->name));
+        std::string what = scope[i]->is_param       ? "parameter"
+                           : scope[i]->is_loop_index ? "loop index"
+                                                     : "variable";
+        diags.warning(d->loc,
+                      "declaration of '" + name + "' shadows " + what +
+                          " declared at " + scope[i]->loc.str(),
+                      "padfa-shadow");
+        break;
+      }
+    }
+    scope.push_back(d.get());
+  }
+  for (const auto& st : block.stmts) {
+    switch (st->kind) {
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(*st);
+        walkShadow(program, *i.then_block, scope, diags);
+        if (i.else_block) walkShadow(program, *i.else_block, scope, diags);
+        break;
+      }
+      case StmtKind::For:
+        // The index is declared inside the body block, so the body walk
+        // reports it if it shadows an outer binding.
+        walkShadow(program, *static_cast<const ForStmt&>(*st).body, scope,
+                   diags);
+        break;
+      case StmtKind::Block:
+        walkShadow(program, static_cast<const BlockStmt&>(*st), scope, diags);
+        break;
+      default:
+        break;
+    }
+  }
+  scope.resize(mark);
+}
+
+void checkShadowing(const Program& program, DiagEngine& diags) {
+  for (const auto& proc : program.procs) {
+    std::vector<const VarDecl*> scope;
+    for (const auto& p : proc->params) scope.push_back(p.get());
+    walkShadow(program, *proc->body, scope, diags);
+  }
+}
+
+// ------------------------------------------------------------------------
+// Loop trip-count checks on constant bounds.
+
+void checkLoopTrips(const LoopTree& loops, DiagEngine& diags,
+                    const LintOptions& opt) {
+  for (const LoopNode* node : loops.allLoops()) {
+    const ForStmt& loop = *node->loop;
+    auto lb = tryConstInt(*loop.lower);
+    auto ub = tryConstInt(*loop.upper);
+    if (!lb || !ub) continue;
+    int64_t step = 1;
+    if (loop.step) {
+      auto s = tryConstInt(*loop.step);
+      if (!s) continue;
+      step = *s;
+    }
+    if (step == 0) continue;  // runtime error, not a trip-count question
+    bool never = step > 0 ? *lb > *ub : *lb < *ub;
+    if (never && wanted(opt, "padfa-loop-never-runs")) {
+      diags.warning(loop.loc,
+                    "loop never executes (bounds " + std::to_string(*lb) +
+                        " to " + std::to_string(*ub) + ")",
+                    "padfa-loop-never-runs");
+    } else if (*lb == *ub && wanted(opt, "padfa-loop-single-trip")) {
+      diags.warning(loop.loc,
+                    "loop executes exactly once (bounds " +
+                        std::to_string(*lb) + " to " + std::to_string(*ub) +
+                        ")",
+                    "padfa-loop-single-trip");
+    }
+  }
+}
+
+// ------------------------------------------------------------------------
+// Affine-context walker: drives padfa-oob (subscript provably outside the
+// declared extent whenever the access runs) and padfa-uninit-read (read
+// of an array section no execution so far could have written).
+//
+// Soundness discipline: every pushed context constraint must hold at the
+// moment the guarded statements execute. Scalars that are assigned more
+// than once in the procedure (or assigned at all for parameters / loop
+// indices) are "unstable": constraints mentioning them are never pushed,
+// and subscripts/extents mentioning them are treated as non-affine.
+
+class ContextWalker {
+ public:
+  ContextWalker(const Program& program, const ProcDecl& proc,
+                DiagEngine& diags, const LintOptions& opt)
+      : program_(program), proc_(proc), diags_(diags), opt_(opt),
+        vt_(&program.interner) {
+    computeUnstable();
+    // Array parameters: the caller may have written anything.
+    for (const auto& p : proc.params)
+      if (p->isArray()) written_[p.get()] = wholeArray(*p);
+  }
+
+  void run() { walkBlock(*proc_.body, /*writes_only=*/false); }
+
+ private:
+  // ----------------------------------------------------------- helpers --
+
+  void computeUnstable() {
+    RefCounts rc;
+    countBlock(*proc_.body, rc);
+    for (const VarDecl* d : proc_.all_vars) {
+      if (d->isArray()) continue;
+      int writes = rc.writes.count(d) ? rc.writes.at(d) : 0;
+      if (d->is_param || d->is_loop_index) {
+        if (writes >= 1) unstable_.insert(d);
+      } else if (writes >= 2) {
+        unstable_.insert(d);
+      }
+    }
+  }
+
+  bool stableExpr(const pb::LinExpr& e) const {
+    for (const auto& [v, c] : e.terms()) {
+      const VarDecl* d = vt_.declOf(v);
+      if (d && unstable_.count(d)) return false;
+    }
+    return true;
+  }
+
+  /// Affine form of an int expression, rejecting unstable scalars.
+  std::optional<pb::LinExpr> affineStable(const Expr& e) {
+    auto a = tryAffine(e, vt_);
+    if (!a || !stableExpr(*a)) return std::nullopt;
+    return a;
+  }
+
+  pb::System contextSystem() const {
+    pb::System sys;
+    for (const auto& s : ctx_) sys.conjoin(s);
+    return sys;
+  }
+
+  /// 0 <= d_j <= extent_j - 1 for dims with stable affine extents.
+  void addArrayBounds(pb::System& sys, const VarDecl& array) {
+    for (size_t j = 0; j < array.rank() && j < VarTable::kMaxRank; ++j) {
+      if (auto ext = affineStable(*array.dims[j])) {
+        sys.addGE0(pb::LinExpr::var(vt_.dim(j)));
+        pb::LinExpr ub = *ext;
+        ub -= pb::LinExpr::var(vt_.dim(j));
+        ub.setConstant(ub.constant() - 1);
+        sys.addGE0(std::move(ub));
+      }
+    }
+  }
+
+  pb::Set wholeArray(const VarDecl& array) {
+    pb::System sys;
+    addArrayBounds(sys, array);
+    return pb::Set(std::move(sys));
+  }
+
+  /// Scalars assigned anywhere inside `b` (transitively).
+  void scalarWritesIn(const BlockStmt& b, std::set<const VarDecl*>& out) {
+    for (const auto& st : b.stmts) {
+      switch (st->kind) {
+        case StmtKind::Assign: {
+          const auto& as = static_cast<const AssignStmt&>(*st);
+          if (as.target->kind == ExprKind::VarRef)
+            out.insert(static_cast<const VarRefExpr&>(*as.target).decl);
+          break;
+        }
+        case StmtKind::If: {
+          const auto& i = static_cast<const IfStmt&>(*st);
+          scalarWritesIn(*i.then_block, out);
+          if (i.else_block) scalarWritesIn(*i.else_block, out);
+          break;
+        }
+        case StmtKind::For:
+          scalarWritesIn(*static_cast<const ForStmt&>(*st).body, out);
+          break;
+        case StmtKind::Block:
+          scalarWritesIn(static_cast<const BlockStmt&>(*st), out);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  /// Constraints of `sys` that stay valid across `region` (no mentioned
+  /// scalar is unstable or written inside the region).
+  pb::System filterForRegion(const pb::System& sys, const BlockStmt& region) {
+    std::set<const VarDecl*> written;
+    scalarWritesIn(region, written);
+    pb::System out;
+    for (const auto& c : sys.constraints()) {
+      bool ok = stableExpr(c.expr);
+      if (ok) {
+        for (const auto& [v, coeff] : c.expr.terms()) {
+          const VarDecl* d = vt_.declOf(v);
+          if (d && written.count(d)) ok = false;
+        }
+      }
+      if (ok) out.add(c);
+    }
+    return out;
+  }
+
+  // ------------------------------------------------------------ checks --
+
+  /// Definite out-of-bounds: the access context is satisfiable, but
+  /// conjoining the in-bounds constraints for some dimension is not — so
+  /// the access traps every time it executes.
+  void checkOob(const ArrayRefExpr& ref) {
+    if (!wanted(opt_, "padfa-oob") || !ref.decl) return;
+    pb::System ctx = contextSystem();
+    if (!ctx.feasible()) return;  // unreachable access: nothing to report
+    for (size_t j = 0; j < ref.indices.size() && j < VarTable::kMaxRank;
+         ++j) {
+      auto sub = affineStable(*ref.indices[j]);
+      auto ext = affineStable(*ref.decl->dims[j]);
+      if (!sub || !ext) continue;
+      pb::System in_bounds = ctx;
+      in_bounds.addGE0(*sub);  // sub >= 0
+      pb::LinExpr upper = *ext;
+      upper -= *sub;
+      upper.setConstant(upper.constant() - 1);
+      in_bounds.addGE0(std::move(upper));  // sub <= ext - 1
+      if (!in_bounds.normalize() || !in_bounds.feasible()) {
+        std::string name(program_.interner.str(ref.name));
+        diags_.warning(ref.loc,
+                       "subscript of '" + name + "' (dimension " +
+                           std::to_string(j) +
+                           ") is always out of bounds when this access "
+                           "executes",
+                       "padfa-oob");
+        return;  // one report per access
+      }
+    }
+  }
+
+  /// Section of one access under the current context, projected onto the
+  /// dimension variables and stable parameters. `exactish` is cleared
+  /// when a subscript was not affine (the section is the whole array).
+  pb::Set accessSection(const ArrayRefExpr& ref, bool& all_affine) {
+    pb::System sys;
+    all_affine = true;
+    for (size_t j = 0; j < ref.indices.size() && j < VarTable::kMaxRank;
+         ++j) {
+      if (auto a = affineStable(*ref.indices[j])) {
+        pb::LinExpr eq = *a;
+        eq -= pb::LinExpr::var(vt_.dim(j));
+        sys.addEQ0(std::move(eq));
+      } else {
+        all_affine = false;
+      }
+    }
+    addArrayBounds(sys, *ref.decl);
+    sys.conjoin(contextSystem());
+    pb::Set sec{std::move(sys)};
+    // Keep only dims and stable non-index scalars (loop indices are
+    // projected out: the section covers all iterations).
+    sec.projectOnto([this](pb::VarId v) {
+      if (vt_.isDim(v)) return true;
+      if (vt_.kindOf(v) == VarKind::Index) return false;
+      const VarDecl* d = vt_.declOf(v);
+      return d != nullptr && !unstable_.count(d);
+    });
+    sec.simplify();
+    return sec;
+  }
+
+  void recordWrite(const ArrayRefExpr& ref) {
+    if (!ref.decl) return;
+    bool affine = true;
+    pb::Set sec = accessSection(ref, affine);
+    if (!affine) sec = wholeArray(*ref.decl);
+    auto it = written_.find(ref.decl);
+    if (it == written_.end()) {
+      written_[ref.decl] = std::move(sec);
+    } else {
+      it->second.unionWith(sec);
+      it->second.simplify();  // the loop prepass re-adds identical pieces
+    }
+  }
+
+  void checkRead(const ArrayRefExpr& ref) {
+    if (!wanted(opt_, "padfa-uninit-read") || !ref.decl) return;
+    bool affine = true;
+    pb::Set sec = accessSection(ref, affine);
+    if (!affine || sec.isEmpty()) return;  // unprovable or unreachable
+    auto it = written_.find(ref.decl);
+    if (it != written_.end() && !sec.intersect(it->second).isEmpty()) return;
+    std::string name(program_.interner.str(ref.name));
+    diags_.warning(ref.loc,
+                   "read of '" + name +
+                       "' section that no preceding statement writes (the "
+                       "value is the zero fill)",
+                   "padfa-uninit-read");
+  }
+
+  // --------------------------------------------------------- traversal --
+
+  void visitReads(const Expr& e, bool writes_only) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::RealLit:
+      case ExprKind::VarRef:
+        return;
+      case ExprKind::ArrayRef: {
+        const auto& a = static_cast<const ArrayRefExpr&>(e);
+        for (const auto& idx : a.indices) visitReads(*idx, writes_only);
+        if (!writes_only) {
+          checkOob(a);
+          checkRead(a);
+        }
+        return;
+      }
+      case ExprKind::Unary:
+        visitReads(*static_cast<const UnaryExpr&>(e).operand, writes_only);
+        return;
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        visitReads(*b.lhs, writes_only);
+        visitReads(*b.rhs, writes_only);
+        return;
+      }
+      case ExprKind::Intrinsic:
+        for (const auto& a : static_cast<const IntrinsicExpr&>(e).args)
+          visitReads(*a, writes_only);
+        return;
+    }
+  }
+
+  void walkBlock(const BlockStmt& block, bool writes_only) {
+    for (const auto& st : block.stmts) walkStmt(*st, writes_only);
+  }
+
+  void walkStmt(const Stmt& s, bool writes_only) {
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        const auto& as = static_cast<const AssignStmt&>(s);
+        visitReads(*as.value, writes_only);
+        if (as.target->kind == ExprKind::ArrayRef) {
+          const auto& ref = static_cast<const ArrayRefExpr&>(*as.target);
+          for (const auto& idx : ref.indices) visitReads(*idx, writes_only);
+          if (!writes_only) checkOob(ref);
+          recordWrite(ref);
+        }
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        visitReads(*i.cond, writes_only);
+        Pred p = Pred::fromCondition(*i.cond, program_.interner);
+        ctx_.push_back(filterForRegion(p.affineUpperBound(vt_),
+                                       *i.then_block));
+        walkBlock(*i.then_block, writes_only);
+        ctx_.pop_back();
+        if (i.else_block) {
+          ctx_.push_back(filterForRegion((!p).affineUpperBound(vt_),
+                                         *i.else_block));
+          walkBlock(*i.else_block, writes_only);
+          ctx_.pop_back();
+        }
+        break;
+      }
+      case StmtKind::For: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        visitReads(*f.lower, writes_only);
+        visitReads(*f.upper, writes_only);
+        if (f.step) visitReads(*f.step, writes_only);
+        pb::System bounds;
+        pb::VarId iv = vt_.idFor(f.index_decl);
+        if (!unstable_.count(f.index_decl)) {
+          if (auto lb = affineStable(*f.lower)) {
+            pb::LinExpr ge = pb::LinExpr::var(iv);
+            ge -= *lb;
+            bounds.addGE0(std::move(ge));
+          }
+          if (auto ub = affineStable(*f.upper)) {
+            pb::LinExpr le = *ub;
+            le -= pb::LinExpr::var(iv);
+            bounds.addGE0(std::move(le));
+          }
+        }
+        ctx_.push_back(filterForRegion(bounds, *f.body));
+        // Loop-carried writes: a later iteration may read what an earlier
+        // one wrote, so the body's writes are recorded (over the full
+        // index range) before reads are checked.
+        if (!writes_only) walkBlock(*f.body, /*writes_only=*/true);
+        walkBlock(*f.body, writes_only);
+        ctx_.pop_back();
+        break;
+      }
+      case StmtKind::Call: {
+        const auto& c = static_cast<const CallStmt&>(s);
+        for (const auto& a : c.args) visitReads(*a, writes_only);
+        // Array arguments: the callee may write (and read) anything.
+        for (const auto& a : c.args) {
+          if (a->kind != ExprKind::VarRef) continue;
+          const auto& vr = static_cast<const VarRefExpr&>(*a);
+          if (vr.decl && vr.decl->isArray())
+            written_[vr.decl] = wholeArray(*vr.decl);
+        }
+        break;
+      }
+      case StmtKind::Block:
+        walkBlock(static_cast<const BlockStmt&>(s), writes_only);
+        break;
+      case StmtKind::Return:
+        break;
+    }
+  }
+
+  const Program& program_;
+  const ProcDecl& proc_;
+  DiagEngine& diags_;
+  const LintOptions& opt_;
+  VarTable vt_;
+  std::set<const VarDecl*> unstable_;
+  std::vector<pb::System> ctx_;
+  std::map<const VarDecl*, pb::Set> written_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& lintCheckerIds() {
+  static const std::vector<std::string> ids = {
+      "padfa-oob",           "padfa-uninit-read",
+      "padfa-dead-store",    "padfa-unused",
+      "padfa-loop-never-runs", "padfa-loop-single-trip",
+      "padfa-shadow",
+  };
+  return ids;
+}
+
+void runLint(const Program& program, const LoopTree& loops,
+             DiagEngine& diags, const LintOptions& options) {
+  if (wanted(options, "padfa-unused") || wanted(options, "padfa-dead-store"))
+    checkUnusedAndDeadStores(program, diags, options);
+  if (wanted(options, "padfa-shadow")) checkShadowing(program, diags);
+  if (wanted(options, "padfa-loop-never-runs") ||
+      wanted(options, "padfa-loop-single-trip"))
+    checkLoopTrips(loops, diags, options);
+  if (wanted(options, "padfa-oob") || wanted(options, "padfa-uninit-read")) {
+    for (const auto& proc : program.procs) {
+      ContextWalker walker(program, *proc, diags, options);
+      walker.run();
+    }
+  }
+}
+
+}  // namespace padfa

@@ -1,0 +1,45 @@
+// MF-lint: a battery of static checkers over the AST + region IR, driven
+// by DiagEngine. Each checker emits diagnostics with a stable id so tools
+// and tests can match kinds instead of message text, and so individual
+// checkers can be promoted to errors (-Werror / -Werror=<id>).
+//
+// Shipped checkers (see README for the full reference):
+//   padfa-oob              subscript provably out of bounds whenever the
+//                          access executes (presburger bounds vs extents)
+//   padfa-uninit-read      read of an array section no execution could
+//                          have written (values are the zero-fill only)
+//   padfa-dead-store       variable written but never read anywhere
+//   padfa-unused           variable declared but never referenced
+//   padfa-loop-never-runs  constant loop bounds exclude every iteration
+//   padfa-loop-single-trip constant loop bounds admit exactly one trip
+//   padfa-shadow           declaration shadows an outer binding
+//
+// Philosophy: a warning must mean a bug with high probability. Checkers
+// only fire on *provable* facts (infeasibility in the affine domain,
+// whole-program absence of references); anything unprovable stays quiet.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/region.h"
+#include "lang/ast.h"
+#include "support/diagnostics.h"
+
+namespace padfa {
+
+struct LintOptions {
+  /// Empty: run everything. Otherwise only checkers whose id is listed.
+  std::vector<std::string> only;
+};
+
+/// All stable checker ids, in documentation order.
+const std::vector<std::string>& lintCheckerIds();
+
+/// Run the checker battery over an analyzed program (Sema must have
+/// succeeded). Appends warnings/notes to `diags`; -Werror promotion is
+/// the engine's concern (DiagEngine::setWarningsAsErrors).
+void runLint(const Program& program, const LoopTree& loops,
+             DiagEngine& diags, const LintOptions& options = {});
+
+}  // namespace padfa

@@ -1,0 +1,82 @@
+// PlanAuditor: an independent static soundness check over the analysis's
+// parallelization plans (DESIGN.md §9).
+//
+// For every loop the analysis planned Parallel or RuntimeTest, the
+// auditor re-derives cross-iteration independence from first principles:
+// it walks the loop body (inlining calls, which the interprocedural
+// analysis summarizes instead), collects every array access as a
+// *linearized* affine offset plus an affine execution context (enclosing
+// loop bounds and guard conditions), and for each pair of accesses to the
+// same underlying buffer with at least one write builds the Presburger
+// conflict system
+//
+//     bounds(i1) ∧ bounds(i2) ∧ i1 < i2 ∧ ctx_a(i1) ∧ ctx_b(i2)
+//          ∧ offset_a(i1) = offset_b(i2)
+//
+// directly — deliberately NOT reusing the summary/predicate machinery the
+// plans came from, so a bug there cannot hide here (N-version checking).
+// Linearized offsets make reshaped (sequence-associated) formals exact.
+//
+// Conflicts are discharged by the plan's own declarations:
+//  * arrays in plan.privatized — every thread gets a private copy, so
+//    cross-iteration conflicts are by-design (the dynamic race oracle
+//    verifies the flow-freedom that privatization additionally needs);
+//  * RuntimeTest plans — the conflict system is conjoined with the affine
+//    upper bound of the derived run-time test; infeasibility means the
+//    test passing implies independence, so the parallel version is safe.
+//
+// Verdict discipline: `Unsound` is only reported when the conflict system
+// models the two accesses *exactly* (affine subscripts, constant view
+// extents, exactly-converted guards and bounds) — a feasible system over
+// an over-approximated context proves nothing and yields `Inconclusive`,
+// which the dynamic oracle then cross-examines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/loop_plan.h"
+#include "lang/ast.h"
+#include "support/diagnostics.h"
+
+namespace padfa {
+
+enum class AuditVerdict : uint8_t {
+  Independent,   // every pair proven conflict-free (or privatized)
+  DischargedTest,// some pair needed the run-time test to discharge
+  Inconclusive,  // some pair could not be decided (coarse modeling)
+  Unsound,       // exact conflict found that nothing discharges
+};
+
+std::string_view auditVerdictName(AuditVerdict v);
+
+struct LoopAudit {
+  const ForStmt* loop = nullptr;
+  const ProcDecl* proc = nullptr;
+  LoopStatus status = LoopStatus::Sequential;
+  AuditVerdict verdict = AuditVerdict::Independent;
+  size_t accesses = 0;          // array accesses collected (after inlining)
+  size_t pairs_tested = 0;      // pairs run through the conflict system
+  size_t pairs_independent = 0; // proven infeasible outright
+  size_t pairs_privatized = 0;  // discharged by a privatization declaration
+  size_t pairs_test = 0;        // discharged by the run-time test
+  /// Human-readable explanations for Inconclusive / Unsound pairs.
+  std::vector<std::string> notes;
+};
+
+struct AuditReport {
+  std::vector<LoopAudit> loops;
+
+  size_t count(AuditVerdict v) const;
+  size_t auditedCount() const { return loops.size(); }
+  /// No loop came back Unsound.
+  bool clean() const { return count(AuditVerdict::Unsound) == 0; }
+};
+
+/// Audit every Parallel / RuntimeTest plan in `analysis`. Emits
+/// `audit-unsound` warnings (promotable via -Werror) and
+/// `audit-inconclusive` notes to `diags`.
+AuditReport auditPlans(const Program& program, const AnalysisResult& analysis,
+                       DiagEngine& diags);
+
+}  // namespace padfa

@@ -1,0 +1,219 @@
+#include "audit/race_oracle.h"
+
+#include <algorithm>
+
+namespace padfa {
+
+namespace {
+
+/// Collect every VarDecl declared inside a block (transitively), i.e.
+/// variables whose storage is re-created on each entry.
+void collectDeclared(const BlockStmt& block, std::set<const VarDecl*>& out) {
+  for (const auto& d : block.decls) out.insert(d.get());
+  for (const auto& st : block.stmts) {
+    switch (st->kind) {
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(*st);
+        collectDeclared(*i.then_block, out);
+        if (i.else_block) collectDeclared(*i.else_block, out);
+        break;
+      }
+      case StmtKind::For:
+        collectDeclared(*static_cast<const ForStmt&>(*st).body, out);
+        break;
+      case StmtKind::Block:
+        collectDeclared(static_cast<const BlockStmt&>(*st), out);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+RaceOracle::RaceOracle(const Program& program, const AnalysisResult& analysis)
+    : program_(program) {
+  for (const auto& [loop, plan] : analysis.plans) {
+    if (plan.status != LoopStatus::Parallel &&
+        plan.status != LoopStatus::RuntimeTest)
+      continue;
+    LoopState st;
+    st.plan = &plan;
+    std::set<const VarDecl*> body_declared;
+    collectDeclared(*loop->body, body_declared);
+    for (const auto& red : plan.reductions)
+      st.reduction_scalars.insert(red.scalar);
+    if (plan.proc) {
+      for (const VarDecl* d : plan.proc->all_vars) {
+        if (d->isArray() || d->is_loop_index) continue;
+        if (body_declared.count(d)) continue;  // fresh storage per iter
+        st.tracked_scalars.insert(d);
+      }
+    }
+    loops_[loop] = std::move(st);
+  }
+}
+
+const LoopPlan* RaceOracle::planFor(const ForStmt* loop) const {
+  auto it = loops_.find(loop);
+  return it == loops_.end() ? nullptr : it->second.plan;
+}
+
+void RaceOracle::loopEnter(const ForStmt* loop,
+                           const std::set<const void*>& privatized) {
+  auto it = loops_.find(loop);
+  if (it == loops_.end()) return;
+  LoopState& st = it->second;
+  st.active = true;
+  st.cur_iter = -1;
+  st.privatized = privatized;
+  st.shadows.clear();
+  st.buffer_decl.clear();
+  st.scalar_shadows.clear();
+  ++st.invocations;
+  active_.push_back(&st);
+}
+
+void RaceOracle::loopIterStart(const ForStmt* loop, int64_t ordinal) {
+  auto it = loops_.find(loop);
+  if (it == loops_.end()) return;
+  it->second.cur_iter = ordinal;
+  it->second.executed = true;
+}
+
+void RaceOracle::loopExit(const ForStmt* loop) {
+  auto it = loops_.find(loop);
+  if (it == loops_.end()) return;
+  LoopState& st = it->second;
+  st.active = false;
+  active_.erase(std::remove(active_.begin(), active_.end(), &st),
+                active_.end());
+}
+
+void RaceOracle::bufferAllocated(const void* buffer) {
+  for (LoopState* st : active_) {
+    st->shadows.erase(buffer);
+    st->buffer_decl.erase(buffer);
+    // A buffer reborn at a stale privatized address no longer is the
+    // privatized array (those resolve at loopEnter), so drop it.
+    st->privatized.erase(buffer);
+  }
+}
+
+void RaceOracle::flag(LoopState& st, std::string detail) {
+  if (!st.violation) {
+    st.violation = true;
+    st.detail = std::move(detail);
+  }
+}
+
+void RaceOracle::recordAccess(const void* buffer, const VarDecl* decl,
+                              size_t flat_index, size_t buffer_size,
+                              bool is_write) {
+  if (active_.empty()) return;
+  ++total_accesses_;
+  for (LoopState* stp : active_) {
+    LoopState& st = *stp;
+    if (st.cur_iter < 0) continue;  // before the first iteration
+    Shadow& sh = st.shadows[buffer];
+    sh.ensure(buffer_size);
+    if (decl) st.buffer_decl[buffer] = decl;
+    int64_t& w = sh.write_iter[flat_index];
+    int64_t& r = sh.read_iter[flat_index];
+    const int64_t t = st.cur_iter;
+    const bool privatized = st.privatized.count(buffer) > 0;
+    std::string_view name =
+        decl ? program_.interner.str(decl->name) : "<array>";
+    if (is_write) {
+      if (!privatized && ((w != -1 && w != t) || (r != -1 && r != t)))
+        flag(st, "shared array '" + std::string(name) +
+                     "' element written by iteration " + std::to_string(t) +
+                     " after iteration " +
+                     std::to_string(w != -1 && w != t ? w : r) +
+                     " accessed it");
+      w = t;
+    } else {
+      if (w != -1 && w != t) {
+        if (privatized)
+          flag(st, "privatized array '" + std::string(name) +
+                       "' carries a value from iteration " +
+                       std::to_string(w) + " into iteration " +
+                       std::to_string(t) + " (cross-iteration flow)");
+        else
+          flag(st, "shared array '" + std::string(name) +
+                       "' element read by iteration " + std::to_string(t) +
+                       " was written by iteration " + std::to_string(w));
+      }
+      r = t;
+    }
+  }
+}
+
+void RaceOracle::recordScalarRead(const VarDecl* decl) {
+  for (LoopState* stp : active_) {
+    LoopState& st = *stp;
+    if (st.cur_iter < 0 || !st.tracked_scalars.count(decl)) continue;
+    ScalarShadow& sh = st.scalar_shadows[decl];
+    // Flow: the last write came from an earlier iteration and this
+    // iteration has not overwritten the scalar yet.
+    if (sh.write_iter != -1 && sh.write_iter != st.cur_iter &&
+        !st.reduction_scalars.count(decl)) {
+      flag(st, "scalar '" + std::string(program_.interner.str(decl->name)) +
+                   "' read in iteration " + std::to_string(st.cur_iter) +
+                   " carries the value written by iteration " +
+                   std::to_string(sh.write_iter));
+    }
+    sh.read_iter = st.cur_iter;
+  }
+}
+
+void RaceOracle::recordScalarWrite(const VarDecl* decl) {
+  for (LoopState* stp : active_) {
+    LoopState& st = *stp;
+    if (st.cur_iter < 0 || !st.tracked_scalars.count(decl)) continue;
+    st.scalar_shadows[decl].write_iter = st.cur_iter;
+  }
+}
+
+std::vector<RaceOracle::LoopVerdict> RaceOracle::verdicts() const {
+  std::vector<LoopVerdict> out;
+  for (const auto& [loop, st] : loops_) {
+    LoopVerdict v;
+    v.loop = loop;
+    v.proc = st.plan->proc;
+    v.status = st.plan->status;
+    v.invocations = st.invocations;
+    v.executed = st.executed;
+    v.violation = st.violation;
+    v.detail = st.detail;
+    v.loc = loop->loc;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+size_t RaceOracle::violationCount() const {
+  size_t n = 0;
+  for (const auto& [loop, st] : loops_)
+    if (st.violation) ++n;
+  return n;
+}
+
+std::string RaceOracle::report(const Interner&) const {
+  std::string out;
+  for (const auto& [loop, st] : loops_) {
+    out += "loop " + loop->loop_id + " [" +
+           std::string(loopStatusName(st.plan->status)) + "] ";
+    if (!st.executed)
+      out += st.invocations == 0 ? "not reached" : "armed but no iterations";
+    else if (st.violation)
+      out += "VIOLATION: " + st.detail;
+    else
+      out += "clean over " + std::to_string(st.invocations) + " invocation(s)";
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace padfa

@@ -1,0 +1,139 @@
+// Dynamic race oracle: shadow-memory instrumentation that checks, during
+// a sequential reference execution, whether the iterations of each loop
+// the analysis planned to run in parallel really are independent *under
+// the plan's own declarations* (privatization, reductions, run-time
+// tests).
+//
+// This is the third leg of the verification tripod (DESIGN.md §9): the
+// static PlanAuditor re-derives independence symbolically, the oracle
+// observes it concretely, and tests require the three-way agreement of
+// analysis, auditor, and execution.
+//
+// Per audited loop the oracle enforces:
+//  * shared (non-privatized) arrays  — no element may be touched by two
+//    different iterations with at least one write (any such conflict is a
+//    race once iterations run concurrently);
+//  * privatized arrays — conflicts are fine (each thread gets a private
+//    copy) but no iteration may *read* an element whose last write was an
+//    earlier iteration before writing it itself: that value would come
+//    from the private copy, not the earlier iteration (the LPD flow
+//    criterion);
+//  * scalars declared outside the loop body — no cross-iteration flow,
+//    except through declared reductions (the interpreter's parallel mode
+//    gives every thread its own scalar copy, so flow is the only hazard);
+//  * RuntimeTest loops are only checked on invocations where the derived
+//    test passes — when it fails the program runs the sequential version
+//    and no independence claim is made.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dataflow/loop_plan.h"
+#include "lang/ast.h"
+
+namespace padfa {
+
+class RaceOracle {
+ public:
+  /// `analysis` must outlive the oracle. Every plan with status Parallel
+  /// or RuntimeTest becomes an audited loop.
+  RaceOracle(const Program& program, const AnalysisResult& analysis);
+
+  bool isAudited(const ForStmt* loop) const {
+    return loops_.count(loop) > 0;
+  }
+  const LoopPlan* planFor(const ForStmt* loop) const;
+  size_t auditedCount() const { return loops_.size(); }
+
+  // ------------------------------------------------ interpreter hooks --
+
+  /// Entering an audited loop whose independence claim is armed for this
+  /// invocation (RuntimeTest loops: the test passed). `privatized` maps
+  /// the plan's privatized arrays to their current buffer identities.
+  void loopEnter(const ForStmt* loop,
+                 const std::set<const void*>& privatized);
+  void loopIterStart(const ForStmt* loop, int64_t ordinal);
+  void loopExit(const ForStmt* loop);
+
+  /// A fresh array buffer came to life at this address: any shadow state
+  /// recorded for a previous (freed) buffer at the same address is stale
+  /// and must be dropped.
+  void bufferAllocated(const void* buffer);
+
+  void recordAccess(const void* buffer, const VarDecl* decl,
+                    size_t flat_index, size_t buffer_size, bool is_write);
+  void recordScalarRead(const VarDecl* decl);
+  void recordScalarWrite(const VarDecl* decl);
+
+  // ---------------------------------------------------------- results --
+
+  struct LoopVerdict {
+    const ForStmt* loop = nullptr;
+    const ProcDecl* proc = nullptr;
+    LoopStatus status = LoopStatus::Sequential;
+    uint64_t invocations = 0;  // armed invocations observed
+    bool executed = false;     // at least one armed iteration ran
+    bool violation = false;
+    /// First violation, human-readable (empty when none).
+    std::string detail;
+    SourceLoc loc;  // loop location
+  };
+
+  std::vector<LoopVerdict> verdicts() const;
+  size_t violationCount() const;
+  uint64_t totalAccesses() const { return total_accesses_; }
+
+  /// Multi-line human-readable summary.
+  std::string report(const Interner& interner) const;
+
+ private:
+  struct Shadow {
+    std::vector<int64_t> write_iter;  // last writing iteration, -1 = never
+    std::vector<int64_t> read_iter;   // last reading iteration, -1 = never
+    void ensure(size_t n) {
+      if (write_iter.size() < n) {
+        write_iter.resize(n, -1);
+        read_iter.resize(n, -1);
+      }
+    }
+  };
+  struct ScalarShadow {
+    int64_t write_iter = -1;
+    int64_t read_iter = -1;
+  };
+  struct LoopState {
+    const LoopPlan* plan = nullptr;
+    /// Scalars of the enclosing procedure that live across iterations
+    /// (declared outside the loop body, not loop indices).
+    std::set<const VarDecl*> tracked_scalars;
+    /// Reduction scalars (flow through them is the declared plan).
+    std::set<const VarDecl*> reduction_scalars;
+
+    // Per-invocation state.
+    bool active = false;
+    int64_t cur_iter = -1;
+    std::set<const void*> privatized;
+    std::map<const void*, Shadow> shadows;
+    std::map<const void*, const VarDecl*> buffer_decl;  // for reporting
+    std::map<const VarDecl*, ScalarShadow> scalar_shadows;
+
+    // Aggregate over all invocations.
+    uint64_t invocations = 0;
+    bool executed = false;
+    bool violation = false;
+    std::string detail;
+  };
+
+  void flag(LoopState& st, std::string detail);
+
+  const Program& program_;
+  std::map<const ForStmt*, LoopState> loops_;
+  std::vector<LoopState*> active_;
+  uint64_t total_accesses_ = 0;
+};
+
+}  // namespace padfa

@@ -7,6 +7,9 @@
 #include <ctime>
 #include <limits>
 #include <mutex>
+#include <set>
+
+#include "audit/race_oracle.h"
 
 namespace padfa {
 
@@ -51,7 +54,7 @@ class Interp {
  public:
   Interp(const Program& program, const InterpOptions& opt)
       : program_(program), opt_(opt) {
-    if (opt_.plans && opt_.num_threads > 1)
+    if (opt_.plans && opt_.num_threads > 1 && !opt_.race)
       pool_ = std::make_unique<ThreadPool>(opt_.num_threads);
   }
 
@@ -82,6 +85,7 @@ class Interp {
       case ExprKind::VarRef: {
         const auto& v = static_cast<const VarRefExpr&>(e);
         const Cell& c = frame[v.decl->local_id];
+        if (race_active_) opt_.race->recordScalarRead(v.decl);
         return v.decl->elem_type == Type::Int ? Value::ofInt(c.i)
                                               : Value::ofReal(c.r);
       }
@@ -91,6 +95,9 @@ class Interp {
         size_t flat = flatIndex(a, st, frame);
         if (elpd_active_)
           opt_.elpd->recordAccess(st.bufferId(), flat, st.size(), false);
+        if (race_active_)
+          opt_.race->recordAccess(st.bufferId(), a.decl, flat, st.size(),
+                                  false);
         return st.elem == Type::Int ? Value::ofInt((*st.ints)[flat])
                                     : Value::ofReal((*st.reals)[flat]);
       }
@@ -241,6 +248,9 @@ class Interp {
       else
         st->ints = std::make_shared<std::vector<int64_t>>(st->size(), 0);
       cell.array = std::move(st);
+      // The heap may recycle a freed buffer's address: stale shadow state
+      // recorded for the old buffer must not taint the new one.
+      if (race_active_) opt_.race->bufferAllocated(cell.array->bufferId());
     } else {
       cell.i = 0;
       cell.r = 0;
@@ -265,6 +275,9 @@ class Interp {
           size_t flat = flatIndex(ref, st, frame);
           if (elpd_active_)
             opt_.elpd->recordAccess(st.bufferId(), flat, st.size(), true);
+          if (race_active_)
+            opt_.race->recordAccess(st.bufferId(), ref.decl, flat, st.size(),
+                                    true);
           if (st.elem == Type::Int)
             (*st.ints)[flat] = v.asInt();
           else
@@ -272,6 +285,7 @@ class Interp {
         } else {
           const auto& ref = static_cast<const VarRefExpr&>(*as.target);
           Cell& c = frame[ref.decl->local_id];
+          if (race_active_) opt_.race->recordScalarWrite(ref.decl);
           if (ref.decl->elem_type == Type::Int)
             c.i = v.asInt();
           else
@@ -431,11 +445,40 @@ class Interp {
     if (instrument) opt_.elpd->loopEnter(&loop);
     bool prev_active = elpd_active_;
     if (opt_.elpd) elpd_active_ = elpd_active_ || instrument;
+    // Race-oracle instrumentation: arm the loop's independence claim.
+    // RuntimeTest plans only claim independence on invocations where the
+    // derived test passes — the test is evaluated here exactly as the
+    // two-version dispatch would (faults count as "failed").
+    bool race_instr = opt_.race && opt_.race->isAudited(&loop);
+    if (race_instr) {
+      const LoopPlan* rplan = opt_.race->planFor(&loop);
+      if (rplan->status == LoopStatus::RuntimeTest) {
+        bool pass = false;
+        try {
+          pass = rplan->runtime_test.evaluate(
+              [&](const Expr& e) { return eval(e, frame).asReal(); });
+        } catch (const RuntimeError&) {
+          pass = false;
+        }
+        race_instr = pass;
+      }
+      if (race_instr) {
+        std::set<const void*> priv_buffers;
+        for (const auto& pa : rplan->privatized) {
+          const auto& cell = frame[pa.array->local_id];
+          if (cell.array) priv_buffers.insert(cell.array->bufferId());
+        }
+        opt_.race->loopEnter(&loop, priv_buffers);
+      }
+    }
+    bool prev_race = race_active_;
+    race_active_ = race_active_ || race_instr;
     int64_t ordinal = 0;
     bool returned = false;
     if (step > 0) {
       for (int64_t i = lb; i <= ub; i += step, ++ordinal) {
         if (instrument) opt_.elpd->loopIterStart(&loop, ordinal);
+        if (race_instr) opt_.race->loopIterStart(&loop, ordinal);
         frame[loop.index_decl->local_id].i = i;
         if (execBlock(*loop.body, frame)) {
           returned = true;
@@ -445,6 +488,7 @@ class Interp {
     } else {
       for (int64_t i = lb; i >= ub; i += step, ++ordinal) {
         if (instrument) opt_.elpd->loopIterStart(&loop, ordinal);
+        if (race_instr) opt_.race->loopIterStart(&loop, ordinal);
         frame[loop.index_decl->local_id].i = i;
         if (execBlock(*loop.body, frame)) {
           returned = true;
@@ -454,7 +498,9 @@ class Interp {
     }
     iters = static_cast<uint64_t>(ordinal);
     if (instrument) opt_.elpd->loopExit(&loop);
+    if (race_instr) opt_.race->loopExit(&loop);
     elpd_active_ = prev_active;
+    race_active_ = prev_race;
     return returned;
   }
 
@@ -604,6 +650,7 @@ class Interp {
   std::mutex sink_mu_;
   bool in_parallel_ = false;
   bool elpd_active_ = false;
+  bool race_active_ = false;
   double parallel_wall_ = 0;
   double parallel_simulated_ = 0;
 };

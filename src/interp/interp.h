@@ -29,6 +29,8 @@
 
 namespace padfa {
 
+class RaceOracle;
+
 /// Runtime storage for one array. The element buffer is itself shared so
 /// that a reshaped formal parameter (different dims, same data) is just
 /// another ArrayStorage viewing the same buffer — exactly Fortran's
@@ -52,16 +54,25 @@ struct ArrayStorage {
 };
 
 struct RuntimeError : std::runtime_error {
-  RuntimeError(SourceLoc loc, const std::string& msg)
-      : std::runtime_error("runtime error at " + loc.str() + ": " + msg) {}
+  /// Location of the faulting statement/expression (innermost frame);
+  /// invalid (line 0) when the fault has no program location (e.g.
+  /// missing 'main'). Preserved through call-stack wrapping so reporters
+  /// can show the offending source line, not just the call stack.
+  SourceLoc loc;
+
+  RuntimeError(SourceLoc l, const std::string& msg)
+      : std::runtime_error("runtime error at " + l.str() + ": " + msg),
+        loc(l) {}
 
   /// Wrap an error propagating out of a procedure call: appends one
   /// "in call to 'proc' at <site>" frame, so the final message carries
-  /// the full procedure call stack innermost-first.
+  /// the full procedure call stack innermost-first. The innermost
+  /// location is kept.
   RuntimeError(const RuntimeError& inner, std::string_view proc,
                SourceLoc call_site)
       : std::runtime_error(std::string(inner.what()) + "\n  in call to '" +
-                           std::string(proc) + "' at " + call_site.str()) {}
+                           std::string(proc) + "' at " + call_site.str()),
+        loc(inner.loc) {}
 };
 
 struct LoopProfile {
@@ -99,6 +110,10 @@ struct InterpOptions {
   unsigned num_threads = 1;
   /// Non-null: ELPD instrumentation (forces sequential execution).
   ElpdCollector* elpd = nullptr;
+  /// Non-null: dynamic race-oracle instrumentation (forces sequential
+  /// execution; the oracle decides which loops to shadow from its
+  /// AnalysisResult, arming RuntimeTest loops only when the test passes).
+  RaceOracle* race = nullptr;
   /// Record per-loop timing.
   bool profile = false;
 };

@@ -55,13 +55,14 @@ class Sema {
   }
 
   void declare(VarDecl* d) {
-    for (const auto& scope : scopes_) {
-      if (scope.count(d->name)) {
-        diags_.error(d->loc, "redeclaration of '" +
-                                 std::string(name(d->name)) +
-                                 "' (shadowing is not allowed in MF)");
-        return;
-      }
+    // Same-scope redeclaration is an error; shadowing an *enclosing*
+    // scope's binding is legal (innermost wins) and left to MF-lint's
+    // padfa-shadow checker to flag.
+    if (scopes_.back().count(d->name)) {
+      diags_.error(d->loc, "redeclaration of '" +
+                               std::string(name(d->name)) +
+                               "' in the same scope");
+      return;
     }
     d->local_id = next_local_id_++;
     scopes_.back()[d->name] = d;

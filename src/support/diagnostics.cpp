@@ -1,24 +1,108 @@
 #include "support/diagnostics.h"
 
+#include <algorithm>
+#include <tuple>
+
 namespace padfa {
 
-std::string Diagnostic::str() const {
-  std::string out;
-  switch (severity) {
-    case DiagSeverity::Note: out = "note"; break;
-    case DiagSeverity::Warning: out = "warning"; break;
-    case DiagSeverity::Error: out = "error"; break;
+std::string_view diagSeverityName(DiagSeverity s) {
+  switch (s) {
+    case DiagSeverity::Note: return "note";
+    case DiagSeverity::Warning: return "warning";
+    case DiagSeverity::Error: return "error";
   }
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  std::string out(diagSeverityName(severity));
   if (loc.valid()) out += " at " + loc.str();
   out += ": " + message;
+  if (!id.empty()) out += " [" + id + "]";
+  return out;
+}
+
+void DiagEngine::report(Diagnostic d) {
+  if (d.severity == DiagSeverity::Warning &&
+      (werror_ || (!werror_ids_.empty() && werror_ids_.count(d.id))))
+    d.severity = DiagSeverity::Error;
+  if (d.severity == DiagSeverity::Error) ++num_errors_;
+  diags_.push_back(std::move(d));
+}
+
+size_t DiagEngine::countWithId(std::string_view id) const {
+  size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.id == id) ++n;
+  return n;
+}
+
+std::vector<Diagnostic> DiagEngine::sorted() const {
+  std::vector<Diagnostic> out = diags_;
+  auto key = [](const Diagnostic& d) {
+    // Errors before warnings before notes at the same location.
+    int sev = d.severity == DiagSeverity::Error     ? 0
+              : d.severity == DiagSeverity::Warning ? 1
+                                                    : 2;
+    return std::make_tuple(d.loc.line, d.loc.col, sev, d.id, d.message);
+  };
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const Diagnostic& a, const Diagnostic& b) {
+                     return key(a) < key(b);
+                   });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [&](const Diagnostic& a, const Diagnostic& b) {
+                          return key(a) == key(b);
+                        }),
+            out.end());
   return out;
 }
 
 std::string DiagEngine::dump() const {
   std::string out;
-  for (const auto& d : diags_) {
+  for (const auto& d : sorted()) {
     out += d.str();
     out += '\n';
+  }
+  return out;
+}
+
+std::string renderDiagnostics(const DiagEngine& diags,
+                              const std::string& source,
+                              const std::string& filename) {
+  // Split the source once into line start offsets.
+  std::vector<size_t> starts = {0};
+  for (size_t i = 0; i < source.size(); ++i)
+    if (source[i] == '\n') starts.push_back(i + 1);
+  auto lineText = [&](uint32_t line) -> std::string {
+    if (line == 0 || line > starts.size()) return {};
+    size_t b = starts[line - 1];
+    size_t e = source.find('\n', b);
+    if (e == std::string::npos) e = source.size();
+    return source.substr(b, e - b);
+  };
+
+  const std::string file = filename.empty() ? "<input>" : filename;
+  std::string out;
+  for (const auto& d : diags.sorted()) {
+    out += file;
+    if (d.loc.valid()) out += ":" + d.loc.str();
+    out += ": ";
+    out += diagSeverityName(d.severity);
+    out += ": " + d.message;
+    if (!d.id.empty()) out += " [" + d.id + "]";
+    out += '\n';
+    if (d.loc.valid()) {
+      std::string text = lineText(d.loc.line);
+      if (!text.empty()) {
+        out += "    " + text + '\n';
+        out += "    ";
+        // Tabs keep their width so the caret stays aligned.
+        for (uint32_t c = 1; c + 1 <= d.loc.col && c <= text.size(); ++c)
+          out += text[c - 1] == '\t' ? '\t' : ' ';
+        out += "^\n";
+      }
+    }
   }
   return out;
 }

@@ -3,8 +3,13 @@
 // All user-facing errors (parse errors, semantic errors, analysis
 // limitations worth reporting) flow through a DiagEngine so library code
 // never writes to stderr directly and tests can assert on diagnostics.
+//
+// Diagnostics carry an optional *stable id* (e.g. "padfa-oob") so tools
+// and tests can match on the diagnostic kind instead of its message text,
+// and so individual checkers can be promoted to errors (-Werror-style).
 #pragma once
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -14,10 +19,15 @@ namespace padfa {
 
 enum class DiagSeverity { Note, Warning, Error };
 
+std::string_view diagSeverityName(DiagSeverity s);
+
 struct Diagnostic {
   DiagSeverity severity = DiagSeverity::Error;
   SourceLoc loc;
   std::string message;
+  /// Stable identifier of the producing checker ("padfa-oob", ...), empty
+  /// for ad-hoc frontend diagnostics.
+  std::string id;
 
   std::string str() const;
 };
@@ -26,27 +36,60 @@ struct Diagnostic {
 /// reference into frontend phases.
 class DiagEngine {
  public:
-  void error(SourceLoc loc, std::string msg) {
-    diags_.push_back({DiagSeverity::Error, loc, std::move(msg)});
-    ++num_errors_;
+  void error(SourceLoc loc, std::string msg, std::string id = {}) {
+    report({DiagSeverity::Error, loc, std::move(msg), std::move(id)});
   }
-  void warning(SourceLoc loc, std::string msg) {
-    diags_.push_back({DiagSeverity::Warning, loc, std::move(msg)});
+  void warning(SourceLoc loc, std::string msg, std::string id = {}) {
+    report({DiagSeverity::Warning, loc, std::move(msg), std::move(id)});
   }
-  void note(SourceLoc loc, std::string msg) {
-    diags_.push_back({DiagSeverity::Note, loc, std::move(msg)});
+  void note(SourceLoc loc, std::string msg, std::string id = {}) {
+    report({DiagSeverity::Note, loc, std::move(msg), std::move(id)});
+  }
+
+  /// Central entry: applies -Werror-style promotion before recording.
+  void report(Diagnostic d);
+
+  /// Promote warnings to errors. With an empty id set, every warning is
+  /// promoted; otherwise only warnings whose id is in the set.
+  void setWarningsAsErrors(bool on) { werror_ = on; }
+  void setWarningsAsErrors(std::set<std::string> ids) {
+    werror_ids_ = std::move(ids);
   }
 
   bool hasErrors() const { return num_errors_ > 0; }
   size_t errorCount() const { return num_errors_; }
   const std::vector<Diagnostic>& all() const { return diags_; }
 
-  /// All diagnostics joined by newlines — convenient for test failure text.
+  /// Number of diagnostics carrying the given stable id.
+  size_t countWithId(std::string_view id) const;
+
+  /// Diagnostics in stable presentation order: sorted by source location
+  /// (unlocated first), then severity (errors first), then id/message;
+  /// exact duplicates are dropped.
+  std::vector<Diagnostic> sorted() const;
+
+  /// All diagnostics joined by newlines — convenient for test failure
+  /// text. Uses sorted() order.
   std::string dump() const;
 
  private:
   std::vector<Diagnostic> diags_;
   size_t num_errors_ = 0;
+  bool werror_ = false;
+  std::set<std::string> werror_ids_;
 };
+
+/// Render diagnostics with source-line and caret context:
+///
+///   lint.mf:12:7: warning: subscript is always out of bounds [padfa-oob]
+///       a[i + 40] = 0.0;
+///         ^
+///
+/// `source` is the buffer the SourceLocs refer to; `filename` prefixes
+/// each line ("<input>" if empty). Diagnostics are rendered in sorted()
+/// order.
+std::string renderDiagnostics(const DiagEngine& diags,
+                              const std::string& source,
+                              const std::string& filename);
 
 }  // namespace padfa

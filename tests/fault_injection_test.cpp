@@ -19,6 +19,7 @@
 
 #include <cmath>
 
+#include "audit/plan_audit.h"
 #include "corpus/corpus.h"
 #include "driver/padfa.h"
 #include "support/fault_injection.h"
@@ -76,6 +77,16 @@ TEST_P(CorpusFaultInjection, DegradesSoundlyUnderInjectedExhaustion) {
       EXPECT_FALSE(res.exhaustion_causes.empty());
       EXPECT_TRUE(res.exhaustion_causes.count("injected"));
     }
+
+    // (2b) The independent plan auditor certifies the injected plans:
+    // degradation only ever *removes* parallelism (Sequential plans are
+    // never audited), so no injection schedule can smuggle in a plan the
+    // auditor refutes as unsound.
+    DiagEngine audit_diags;
+    AuditReport rep = auditPlans(*program, res, audit_diags);
+    EXPECT_TRUE(rep.clean()) << audit_diags.dump();
+    EXPECT_EQ(audit_diags.countWithId("audit-unsound"), 0u)
+        << audit_diags.dump();
 
     // (4) Execution under the degraded plans stays correct.
     InterpOptions popt;

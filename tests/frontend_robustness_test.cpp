@@ -3,7 +3,10 @@
 // rejected cleanly.
 #include <gtest/gtest.h>
 
+#include "audit/lint.h"
+#include "audit/plan_audit.h"
 #include "corpus/corpus.h"
+#include "driver/padfa.h"
 #include "lang/parser.h"
 #include "lang/sema.h"
 
@@ -112,7 +115,9 @@ TEST(Robustness, RandomTokenSoupNeverCrashes) {
 // inputs are valid programs with a single localized defect — the shape a
 // user actually produces — so they exercise recovery paths deep inside
 // the parser and sema. Contract: never crash; if the parse fails, there
-// is a diagnostic; if it survives, sema must also run without crashing.
+// is a diagnostic; if the mutant survives sema, the downstream pipeline
+// (analysis, MF-lint, plan auditor) must also run without crashing and
+// the auditor must certify every plan the analysis emits for it.
 class MutatedCorpus : public ::testing::TestWithParam<int> {
  protected:
   uint64_t state_ = 0;
@@ -132,7 +137,23 @@ class MutatedCorpus : public ::testing::TestWithParam<int> {
           << "parse failed without emitting a diagnostic";
       return;
     }
-    analyze(*p, diags);  // must not crash whether it accepts or rejects
+    if (!analyze(*p, diags)) return;  // cleanly rejected by sema
+    // The mutant is a *valid* program, so the whole verification pipeline
+    // must hold on it: planner, MF-lint, and the plan auditor run without
+    // crashing, and the auditor must not refute any plan the analysis
+    // produced — a mutation that tricks the analysis into an unsound
+    // parallel plan is exactly the bug this fuzz exists to catch.
+    DiagEngine cdiags;
+    auto cp = compileSource(src, cdiags);
+    ASSERT_TRUE(cp.has_value())
+        << "sema accepted a program the driver rejects:\n" << cdiags.dump();
+    DiagEngine vdiags;
+    runLint(*cp->program, cp->loops, vdiags);
+    AuditReport base_rep = auditPlans(*cp->program, cp->base, vdiags);
+    AuditReport pred_rep = auditPlans(*cp->program, cp->pred, vdiags);
+    EXPECT_TRUE(base_rep.clean() && pred_rep.clean())
+        << "auditor refuted a plan on a valid mutant:\n" << vdiags.dump();
+    EXPECT_EQ(vdiags.countWithId("audit-unsound"), 0u) << vdiags.dump();
   }
 
   // Erase the whitespace-delimited token containing position `at`.

@@ -185,15 +185,30 @@ TEST(Sema, RejectsUndeclaredVariable) {
   EXPECT_NE(err.find("undeclared"), std::string::npos) << err;
 }
 
-TEST(Sema, RejectsShadowing) {
+TEST(Sema, RejectsSameScopeRedeclaration) {
   std::string err = analyzeErr(R"(
     proc main() {
       int x;
+      int x;
       x = 1;
-      if (x > 0) { int x; x = 2; }
+      sink(x);
     }
   )");
   EXPECT_NE(err.find("redeclaration"), std::string::npos) << err;
+}
+
+TEST(Sema, AllowsNestedScopeShadowing) {
+  // Shadowing an enclosing binding is legal (innermost wins); MF-lint's
+  // padfa-shadow checker warns about it instead.
+  auto p = analyzeOk(R"(
+    proc main() {
+      int x;
+      x = 1;
+      if (x > 0) { int x; x = 2; sink(x); }
+      sink(x);
+    }
+  )");
+  ASSERT_NE(p, nullptr);
 }
 
 TEST(Sema, RejectsIntFromRealAssignment) {

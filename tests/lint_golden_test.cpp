@@ -1,0 +1,140 @@
+// Golden tests for the MF-lint battery: each tests/lint_golden/*.mf
+// program carries "//E <id>" annotations naming the diagnostic expected
+// on that line. The test asserts an exact match both ways — every
+// expectation fires, and no unannotated diagnostic appears — so checker
+// regressions in either direction (missed bugs, new false positives)
+// fail loudly.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "audit/lint.h"
+#include "driver/padfa.h"
+
+#ifndef LINT_GOLDEN_DIR
+#error "LINT_GOLDEN_DIR must point at the annotated MF programs"
+#endif
+
+namespace padfa {
+namespace {
+
+struct Expectation {
+  int line = 0;
+  std::string id;
+};
+
+std::vector<Expectation> parseExpectations(const std::string& source) {
+  std::vector<Expectation> out;
+  std::istringstream in(source);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t pos = line.find("//E ");
+    if (pos == std::string::npos) continue;
+    std::istringstream ids(line.substr(pos + 4));
+    std::string id;
+    while (ids >> id) out.push_back({lineno, id});
+  }
+  return out;
+}
+
+std::vector<std::filesystem::path> goldenFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& e :
+       std::filesystem::directory_iterator(LINT_GOLDEN_DIR)) {
+    if (e.path().extension() == ".mf") files.push_back(e.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+class LintGolden : public ::testing::TestWithParam<int> {};
+
+TEST_P(LintGolden, DiagnosticsMatchAnnotations) {
+  const auto path = goldenFiles()[static_cast<size_t>(GetParam())];
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string source = ss.str();
+
+  DiagEngine cdiags;
+  auto cp = compileSource(source, cdiags);
+  ASSERT_TRUE(cp.has_value()) << path << ":\n" << cdiags.dump();
+
+  DiagEngine diags;
+  runLint(*cp->program, cp->loops, diags);
+
+  std::map<std::pair<int, std::string>, int> expected;
+  for (const auto& e : parseExpectations(source)) ++expected[{e.line, e.id}];
+  std::map<std::pair<int, std::string>, int> actual;
+  for (const auto& d : diags.all()) ++actual[{d.loc.line, d.id}];
+
+  for (const auto& [key, n] : expected) {
+    EXPECT_EQ(actual.count(key) ? actual.at(key) : 0, n)
+        << path.filename() << ": expected [" << key.second << "] on line "
+        << key.first << "\ngot:\n"
+        << renderDiagnostics(diags, source, path.filename().string());
+  }
+  for (const auto& [key, n] : actual) {
+    EXPECT_TRUE(expected.count(key))
+        << path.filename() << ": unexpected [" << key.second << "] on line "
+        << key.first << "\n"
+        << renderDiagnostics(diags, source, path.filename().string());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFiles, LintGolden,
+    ::testing::Range(0, static_cast<int>(goldenFiles().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return goldenFiles()[static_cast<size_t>(info.param)].stem().string();
+    });
+
+// Every documented checker id is exercised by at least one golden file,
+// so the suite cannot silently lose coverage of a checker.
+TEST(LintGoldenCoverage, EveryCheckerIdIsExercised) {
+  std::set<std::string> seen;
+  for (const auto& path : goldenFiles()) {
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    for (const auto& e : parseExpectations(ss.str())) seen.insert(e.id);
+  }
+  for (const auto& id : lintCheckerIds())
+    EXPECT_TRUE(seen.count(id)) << "no golden file exercises [" << id << "]";
+}
+
+// --only restricts the battery to the named checkers.
+TEST(LintOptions, OnlyFilterRestricts) {
+  const char* src = R"(
+proc main() {
+  real a[8];
+  real dead;
+  dead = 1.0;
+  for i = 5 to 3 {
+    a[i] = 1.0;
+  }
+  for i = 0 to 7 {
+    a[i] = 2.0;
+  }
+  sink(a[1]);
+}
+)";
+  DiagEngine cdiags;
+  auto cp = compileSource(src, cdiags);
+  ASSERT_TRUE(cp.has_value()) << cdiags.dump();
+  DiagEngine diags;
+  LintOptions opt;
+  opt.only = {"padfa-dead-store"};
+  runLint(*cp->program, cp->loops, diags, opt);
+  EXPECT_EQ(diags.countWithId("padfa-dead-store"), 1u) << diags.dump();
+  EXPECT_EQ(diags.countWithId("padfa-loop-never-runs"), 0u) << diags.dump();
+}
+
+}  // namespace
+}  // namespace padfa
