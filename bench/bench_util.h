@@ -9,6 +9,7 @@
 
 #include "corpus/corpus.h"
 #include "driver/padfa.h"
+#include "support/perf_stats.h"
 
 namespace padfa::bench {
 
@@ -42,6 +43,39 @@ inline ElpdCollector runElpd(const CompiledProgram& cp) {
   opt.elpd = &collector;
   execute(*cp.program, opt);
   return collector;
+}
+
+/// Extract a `--json <path>` flag from argv, compacting argv so
+/// benchmark::Initialize never sees the (unrecognized) flag. Returns the
+/// path, or "" when the flag is absent. Harness binaries use this to emit
+/// machine-readable results (wall times, cache hit rates, thread count)
+/// next to their human-readable tables.
+inline std::string extractJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < *argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  return path;
+}
+
+/// One "hits/misses/inserts/hit_rate" JSON object for a cache counter.
+inline std::string cacheStatsJson(const CacheStats& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"hits\": %llu, \"misses\": %llu, \"inserts\": %llu, "
+                "\"hit_rate\": %.4f}",
+                static_cast<unsigned long long>(s.hits.load()),
+                static_cast<unsigned long long>(s.misses.load()),
+                static_cast<unsigned long long>(s.inserts.load()),
+                s.hitRate());
+  return buf;
 }
 
 /// Loop category label for Table 3, derived from plan attribution flags.

@@ -58,10 +58,22 @@ struct ArraySummary {
   bool approximate = false;
 };
 
+/// Deterministic ordering for decl-keyed maps: the sema-assigned
+/// program-wide uid, not the pointer value. Iteration order over these
+/// maps is observable (plan vectors, which array's dependence names the
+/// Sequential reason), so it must not depend on heap layout — raw
+/// pointer order varies with allocator state, e.g. between cached and
+/// uncached analysis runs in the same process.
+struct DeclUidLess {
+  bool operator()(const VarDecl* a, const VarDecl* b) const {
+    return a->uid < b->uid;
+  }
+};
+
 /// Full data-flow value for a region.
 struct RegionSummary {
-  std::map<const VarDecl*, ArraySummary> arrays;
-  std::map<const VarDecl*, ScalarEffect> scalars;
+  std::map<const VarDecl*, ArraySummary, DeclUidLess> arrays;
+  std::map<const VarDecl*, ScalarEffect, DeclUidLess> scalars;
   /// Loops (in this region, any depth) that carry a sink() call.
   bool has_sink = false;
   /// True when a resource-budget exhaustion forced a conservative

@@ -1,5 +1,7 @@
 #include "driver/padfa.h"
 
+#include "runtime/thread_pool.h"
+
 namespace padfa {
 
 std::optional<CompiledProgram> compileSource(const std::string& source,
@@ -9,8 +11,16 @@ std::optional<CompiledProgram> compileSource(const std::string& source,
   if (!analyze(*program, diags)) return std::nullopt;
   CompiledProgram cp;
   cp.loops = LoopTree::build(*program);
-  cp.base = analyzeProgram(*program, AnalysisConfig::baseline());
-  cp.pred = analyzeProgram(*program, AnalysisConfig::predicated());
+  // The two analyses are independent reads of the immutable Program:
+  // each installs its own thread-local AnalysisBudget, so they can run
+  // concurrently. Baseline goes to the pool (inline when already on a
+  // pool worker — e.g. program-parallel corpus drivers); predicated,
+  // typically the more expensive of the pair, runs on the caller.
+  Program& prog = *program;
+  std::future<AnalysisResult> base_fut = analysisPool().submit(
+      [&prog] { return analyzeProgram(prog, AnalysisConfig::baseline()); });
+  cp.pred = analyzeProgram(prog, AnalysisConfig::predicated());
+  cp.base = base_fut.get();
   // Graceful degradation ladder: a loop whose *predicated* analysis blew
   // its budget falls back to the baseline plan for that loop when the
   // baseline completed (it is independently sound); the fallback keeps

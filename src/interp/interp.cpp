@@ -54,7 +54,10 @@ class Interp {
  public:
   Interp(const Program& program, const InterpOptions& opt)
       : program_(program), opt_(opt) {
-    if (opt_.plans && opt_.num_threads > 1 && !opt_.race)
+    // Instrumented runs (ELPD or race oracle) are sequential by contract:
+    // the collectors are not thread-safe, and the elpd_/race_active_ flags
+    // below are plain bools that may only be toggled single-threaded.
+    if (opt_.plans && opt_.num_threads > 1 && !opt_.race && !opt_.elpd)
       pool_ = std::make_unique<ThreadPool>(opt_.num_threads);
   }
 
@@ -443,6 +446,10 @@ class Interp {
     bool instrument =
         opt_.elpd && opt_.elpd->isInstrumented(&loop);
     if (instrument) opt_.elpd->loopEnter(&loop);
+    // Only touch the activity flags when the corresponding collector is
+    // attached: collectors force sequential execution (no pool), so the
+    // flags are then single-threaded. Without a collector they must stay
+    // untouched — parallel workers read them concurrently.
     bool prev_active = elpd_active_;
     if (opt_.elpd) elpd_active_ = elpd_active_ || instrument;
     // Race-oracle instrumentation: arm the loop's independence claim.
@@ -472,7 +479,7 @@ class Interp {
       }
     }
     bool prev_race = race_active_;
-    race_active_ = race_active_ || race_instr;
+    if (opt_.race) race_active_ = race_active_ || race_instr;
     int64_t ordinal = 0;
     bool returned = false;
     if (step > 0) {
@@ -499,8 +506,8 @@ class Interp {
     iters = static_cast<uint64_t>(ordinal);
     if (instrument) opt_.elpd->loopExit(&loop);
     if (race_instr) opt_.race->loopExit(&loop);
-    elpd_active_ = prev_active;
-    race_active_ = prev_race;
+    if (opt_.elpd) elpd_active_ = prev_active;
+    if (opt_.race) race_active_ = prev_race;
     return returned;
   }
 

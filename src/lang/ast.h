@@ -121,6 +121,11 @@ struct VarDecl {
   bool is_loop_index = false;
   /// Unique id within the enclosing procedure; assigned by Sema.
   uint32_t local_id = 0;
+  /// Unique id across the whole program; assigned by Sema. Cache keys
+  /// derived from expressions are qualified with this id so structurally
+  /// equal expressions over *different* declarations (e.g. a local `n`
+  /// in two procedures, where local_id collides) never share an entry.
+  uint32_t uid = 0;
 
   bool isArray() const { return !dims.empty(); }
   size_t rank() const { return dims.size(); }

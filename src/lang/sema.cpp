@@ -65,6 +65,7 @@ class Sema {
       return;
     }
     d->local_id = next_local_id_++;
+    d->uid = next_uid_++;  // program-wide; never reset between procs
     scopes_.back()[d->name] = d;
     cur_proc_->all_vars.push_back(d);
   }
@@ -446,6 +447,7 @@ class Sema {
   std::vector<std::map<Symbol, VarDecl*>> scopes_;
   ProcDecl* cur_proc_ = nullptr;
   uint32_t next_local_id_ = 0;
+  uint32_t next_uid_ = 1;  // 0 stays "never declared"
 };
 
 void collectCallsOf(const BlockStmt& block, std::set<const ProcDecl*>& out) {

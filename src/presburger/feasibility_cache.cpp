@@ -1,0 +1,76 @@
+#include "presburger/feasibility_cache.h"
+
+#include <algorithm>
+
+namespace padfa::pb {
+
+std::string canonicalSystemKey(const System& s) {
+  // Order-preserving dense renaming of the used variables: usedVars() is
+  // ascending, so term vectors (sorted by VarId) stay sorted after the
+  // rename and two systems equal up to renaming encode identically.
+  std::vector<VarId> vars = s.usedVars();
+  std::vector<std::string> enc;
+  enc.reserve(s.size());
+  for (const auto& c : s.constraints()) {
+    std::string e;
+    e += (c.kind == CmpKind::EQ0) ? 'E' : 'G';
+    e += std::to_string(c.expr.constant());
+    for (const auto& [v, coeff] : c.expr.terms()) {
+      size_t dense = static_cast<size_t>(
+          std::lower_bound(vars.begin(), vars.end(), v) - vars.begin());
+      e += ';';
+      e += std::to_string(dense);
+      e += '*';
+      e += std::to_string(coeff);
+    }
+    enc.push_back(std::move(e));
+  }
+  // The constraint multiset is unordered: sort the encodings.
+  std::sort(enc.begin(), enc.end());
+  std::string key;
+  size_t total = 0;
+  for (const auto& e : enc) total += e.size() + 1;
+  key.reserve(total);
+  for (const auto& e : enc) {
+    key += e;
+    key += '|';
+  }
+  return key;
+}
+
+FeasibilityCache& FeasibilityCache::global() {
+  static FeasibilityCache cache;
+  return cache;
+}
+
+std::optional<Feasibility> FeasibilityCache::lookup(const std::string& key) {
+  Shard& s = shardOf(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) return std::nullopt;
+  return it->second;
+}
+
+void FeasibilityCache::insert(const std::string& key, Feasibility f) {
+  Shard& s = shardOf(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.map.emplace(key, f);
+}
+
+void FeasibilityCache::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+  }
+}
+
+size_t FeasibilityCache::size() {
+  size_t n = 0;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+}  // namespace padfa::pb

@@ -4,7 +4,9 @@
 #include <map>
 #include <numeric>
 
+#include "presburger/feasibility_cache.h"
 #include "support/budget.h"
+#include "support/perf_stats.h"
 
 namespace padfa::pb {
 
@@ -257,10 +259,11 @@ bool System::projectOntoTracked(const VarFilter& keep, bool& exact) {
   }
 }
 
-bool System::feasible() const {
-  System copy = *this;
-  if (!copy.normalize()) return false;
-  if (copy.quickInfeasible()) return false;
+namespace {
+
+/// The full elimination loop behind feasible(), over an already
+/// normalized, not-quickly-infeasible system. Consumes `copy`.
+Feasibility eliminateFeasibility(System copy) {
   // Eliminate all variables. Variables with a unit-coefficient equality
   // are substituted first: substitution is exact and, crucially,
   // propagates divisibility information (e.g. i == 3k) into the
@@ -275,7 +278,7 @@ bool System::feasible() const {
     for (VarId v : vars) {
       size_t lo = 0, up = 0, eq = 0;
       bool unit = false;
-      for (const auto& c : copy.constraints_) {
+      for (const auto& c : copy.constraints()) {
         int64_t a = c.expr.coeff(v);
         if (a == 0) continue;
         if (c.kind == CmpKind::EQ0) {
@@ -294,18 +297,57 @@ bool System::feasible() const {
         bestUnit = unit;
       }
     }
-    if (!copy.eliminate(best)) return false;
-    if (copy.quickInfeasible()) return false;
-    if (copy.size() > kMaxConstraints) return true;  // give up: assume feasible
+    if (!copy.eliminate(best)) return Feasibility::Infeasible;
+    if (copy.quickInfeasible()) return Feasibility::Infeasible;
+    if (copy.size() > System::kMaxConstraints)
+      return Feasibility::FeasibleInexact;  // give up: assume feasible
   }
   // Only constant constraints remain; normalize() already validated them.
-  for (const auto& c : copy.constraints_) {
+  for (const auto& c : copy.constraints()) {
     if (c.expr.isConstant()) {
-      if (c.kind == CmpKind::EQ0 && c.expr.constant() != 0) return false;
-      if (c.kind == CmpKind::GE0 && c.expr.constant() < 0) return false;
+      if (c.kind == CmpKind::EQ0 && c.expr.constant() != 0)
+        return Feasibility::Infeasible;
+      if (c.kind == CmpKind::GE0 && c.expr.constant() < 0)
+        return Feasibility::Infeasible;
     }
   }
-  return true;
+  return Feasibility::Feasible;
+}
+
+/// The global feasibility memo, or null when it must not be consulted:
+/// caches disabled process-wide, or a governed budget is installed (a
+/// cache hit would skip the FM charge points a starved analysis is
+/// contractually required to hit).
+FeasibilityCache* usableFeasibilityCache() {
+  if (!cachesEnabled()) return nullptr;
+  if (AnalysisBudget* b = AnalysisBudget::current())
+    if (b->governed()) return nullptr;
+  return &FeasibilityCache::global();
+}
+
+}  // namespace
+
+bool System::feasible() const {
+  System copy = *this;
+  if (!copy.normalize()) return false;
+  if (copy.quickInfeasible()) return false;
+  if (copy.trivial()) return true;
+  FeasibilityCache* cache = usableFeasibilityCache();
+  if (!cache)
+    return eliminateFeasibility(std::move(copy)) != Feasibility::Infeasible;
+  // Key the *normalized* system so structurally equal queries (up to
+  // variable renaming) share one entry across programs and threads.
+  std::string key = canonicalSystemKey(copy);
+  CacheStats& stats = PerfStats::instance().feasibility;
+  if (std::optional<Feasibility> hit = cache->lookup(key)) {
+    stats.hit();
+    return *hit != Feasibility::Infeasible;
+  }
+  stats.miss();
+  Feasibility f = eliminateFeasibility(std::move(copy));
+  cache->insert(key, f);
+  stats.insert();
+  return f != Feasibility::Infeasible;
 }
 
 std::vector<VarId> System::usedVars() const {

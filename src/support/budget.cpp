@@ -73,7 +73,9 @@ AnalysisBudget::AnalysisBudget(const BudgetLimits& limits,
 
 AnalysisBudget* AnalysisBudget::current() { return g_current_budget; }
 
-void AnalysisBudget::beginLoop() { loop_fm_steps_ = 0; }
+void AnalysisBudget::beginLoop() {
+  loop_fm_steps_.store(0, std::memory_order_relaxed);
+}
 
 void AnalysisBudget::blow(BudgetCause cause) {
   // Global dimensions are sticky: the remaining pipeline should degrade
@@ -82,8 +84,8 @@ void AnalysisBudget::blow(BudgetCause cause) {
   // next beginLoop(); injected faults are transient by design.
   if (cause != BudgetCause::LoopFmSteps && cause != BudgetCause::Injected &&
       cause != BudgetCause::Recursion) {
-    exhausted_ = true;
-    cause_ = cause;
+    cause_.store(cause, std::memory_order_relaxed);
+    exhausted_.store(true, std::memory_order_relaxed);
   }
   throw BudgetExceeded(cause);
 }
@@ -92,45 +94,54 @@ void AnalysisBudget::probe() {
   if (injector_ && injector_->shouldFire()) blow(BudgetCause::Injected);
   // Deadline checks are subsampled: the clock read is ~20ns, charge
   // points can run millions of times.
-  if (deadline_at_ > 0 && (++probe_tick_ & 0xFF) == 0 &&
+  if (deadline_at_ > 0 &&
+      ((probe_tick_.fetch_add(1, std::memory_order_relaxed) + 1) & 0xFF) ==
+          0 &&
       monotonicSeconds() > deadline_at_)
     blow(BudgetCause::Deadline);
 }
 
 void AnalysisBudget::chargeFmStep(uint64_t constraints) {
-  if (exhausted_) throw BudgetExceeded(cause_);
-  ++fm_steps_;
-  ++loop_fm_steps_;
-  constraints_ += constraints;
-  if (limits_.max_fm_steps && fm_steps_ > limits_.max_fm_steps)
+  if (exhausted_.load(std::memory_order_relaxed))
+    throw BudgetExceeded(cause_.load(std::memory_order_relaxed));
+  uint64_t fm = fm_steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t loop_fm = loop_fm_steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t cons =
+      constraints_.fetch_add(constraints, std::memory_order_relaxed) +
+      constraints;
+  if (limits_.max_fm_steps && fm > limits_.max_fm_steps)
     blow(BudgetCause::FmSteps);
-  if (limits_.max_loop_fm_steps && loop_fm_steps_ > limits_.max_loop_fm_steps)
+  if (limits_.max_loop_fm_steps && loop_fm > limits_.max_loop_fm_steps)
     blow(BudgetCause::LoopFmSteps);
-  if (limits_.max_constraints && constraints_ > limits_.max_constraints)
+  if (limits_.max_constraints && cons > limits_.max_constraints)
     blow(BudgetCause::Constraints);
   probe();
 }
 
 void AnalysisBudget::chargePieces(uint64_t pieces) {
-  if (exhausted_) throw BudgetExceeded(cause_);
-  pieces_ += pieces;
-  if (limits_.max_pieces && pieces_ > limits_.max_pieces)
+  if (exhausted_.load(std::memory_order_relaxed))
+    throw BudgetExceeded(cause_.load(std::memory_order_relaxed));
+  uint64_t p = pieces_.fetch_add(pieces, std::memory_order_relaxed) + pieces;
+  if (limits_.max_pieces && p > limits_.max_pieces)
     blow(BudgetCause::Pieces);
   probe();
 }
 
 void AnalysisBudget::enterRecursion() {
-  if (exhausted_) throw BudgetExceeded(cause_);
+  if (exhausted_.load(std::memory_order_relaxed))
+    throw BudgetExceeded(cause_.load(std::memory_order_relaxed));
   // Check before incrementing: a throwing enterRecursion() means the
   // guard's constructor never completes, so its destructor (and the
   // matching decrement) would not run.
-  if (limits_.max_recursion_depth && depth_ + 1 > limits_.max_recursion_depth)
+  if (limits_.max_recursion_depth &&
+      depth_.load(std::memory_order_relaxed) + 1 > limits_.max_recursion_depth)
     blow(BudgetCause::Recursion);
-  ++depth_;
+  depth_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void AnalysisBudget::leaveRecursion() {
-  if (depth_ > 0) --depth_;
+  if (depth_.load(std::memory_order_relaxed) > 0)
+    depth_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 BudgetScope::BudgetScope(AnalysisBudget& b) : prev_(g_current_budget) {

@@ -21,6 +21,7 @@
 // far above any real program's nesting depth.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <string>
@@ -103,12 +104,30 @@ class AnalysisBudget {
   /// pieces) has been exhausted; every later charge re-raises immediately
   /// so the remaining pipeline degrades quickly instead of re-paying the
   /// partial work. Per-loop and injected exhaustions are transient.
-  bool exhaustedGlobally() const { return exhausted_; }
+  bool exhaustedGlobally() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+
+  /// True when this budget can actually run out: a finite limit beyond
+  /// the recursion backstop is set, or a fault injector is attached. The
+  /// memoization layer bypasses its caches under a governed budget —
+  /// charge points are part of the observable degradation contract, and
+  /// a cache hit that skipped them would let a starved analysis dodge
+  /// the exhaustion it is supposed to hit.
+  bool governed() const {
+    return injector_ != nullptr || limits_.deadline_seconds > 0 ||
+           limits_.max_fm_steps != 0 || limits_.max_loop_fm_steps != 0 ||
+           limits_.max_constraints != 0 || limits_.max_pieces != 0;
+  }
 
   // Telemetry.
-  uint64_t fmSteps() const { return fm_steps_; }
-  uint64_t constraintsBuilt() const { return constraints_; }
-  uint64_t piecesTouched() const { return pieces_; }
+  uint64_t fmSteps() const { return fm_steps_.load(std::memory_order_relaxed); }
+  uint64_t constraintsBuilt() const {
+    return constraints_.load(std::memory_order_relaxed);
+  }
+  uint64_t piecesTouched() const {
+    return pieces_.load(std::memory_order_relaxed);
+  }
 
  private:
   [[noreturn]] void blow(BudgetCause cause);
@@ -117,14 +136,19 @@ class AnalysisBudget {
   BudgetLimits limits_;
   FaultInjector* injector_ = nullptr;
   double deadline_at_ = 0;  // monotonic seconds; 0 = none
-  uint64_t fm_steps_ = 0;
-  uint64_t loop_fm_steps_ = 0;
-  uint64_t constraints_ = 0;
-  uint64_t pieces_ = 0;
-  uint32_t depth_ = 0;
-  uint64_t probe_tick_ = 0;
-  bool exhausted_ = false;
-  BudgetCause cause_ = BudgetCause::Deadline;
+  // Counters are atomic with relaxed ordering: a budget is normally
+  // thread-local (installed by a BudgetScope), but nothing stops a caller
+  // from sharing one AnalysisBudget across the concurrently-analyzed
+  // baseline/predicated pair, and limit checks only need eventually-
+  // consistent totals, not ordering.
+  std::atomic<uint64_t> fm_steps_{0};
+  std::atomic<uint64_t> loop_fm_steps_{0};
+  std::atomic<uint64_t> constraints_{0};
+  std::atomic<uint64_t> pieces_{0};
+  std::atomic<uint32_t> depth_{0};
+  std::atomic<uint64_t> probe_tick_{0};
+  std::atomic<bool> exhausted_{false};
+  std::atomic<BudgetCause> cause_{BudgetCause::Deadline};
 
   friend class BudgetScope;
 };

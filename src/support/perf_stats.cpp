@@ -1,0 +1,66 @@
+#include "support/perf_stats.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace padfa {
+
+namespace {
+
+// -1 = no override (follow the environment), 0 = disabled, 1 = enabled.
+std::atomic<int> g_caches_override{-1};
+
+bool envCachesEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("PADFA_NO_CACHE");
+    return !(v && *v);
+  }();
+  return enabled;
+}
+
+void appendLine(std::string& out, const char* name, const CacheStats& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "  %-12s hits=%llu misses=%llu inserts=%llu hit-rate=%.1f%%\n",
+                name,
+                static_cast<unsigned long long>(
+                    s.hits.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    s.misses.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    s.inserts.load(std::memory_order_relaxed)),
+                100.0 * s.hitRate());
+  out += buf;
+}
+
+}  // namespace
+
+PerfStats& PerfStats::instance() {
+  static PerfStats stats;
+  return stats;
+}
+
+std::string PerfStats::report() const {
+  std::string out = "cache statistics:\n";
+  appendLine(out, "feasibility", feasibility);
+  appendLine(out, "implies", implies);
+  appendLine(out, "simplify", simplify);
+  appendLine(out, "summary", summary);
+  return out;
+}
+
+bool cachesEnabled() {
+  int ov = g_caches_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return ov != 0;
+  return envCachesEnabled();
+}
+
+void setCachesEnabled(bool enabled) {
+  g_caches_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void clearCachesEnabledOverride() {
+  g_caches_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace padfa

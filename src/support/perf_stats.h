@@ -1,0 +1,81 @@
+// Process-wide performance counters for the memoization layer.
+//
+// Every cache in the engine (Presburger feasibility, predicate
+// implies/simplify, interprocedural translated summaries) reports its
+// hit/miss/insert traffic through one of the named CacheStats instances
+// below so benches and tests can print and assert cache effectiveness.
+// Counters are atomic (relaxed): they are telemetry, never control flow,
+// so cross-thread ordering is irrelevant — only totals matter.
+//
+// Cache enablement is a process-wide switch: the PADFA_NO_CACHE
+// environment variable (any non-empty value) disables every cache, and
+// setCachesEnabled() overrides the environment programmatically (used by
+// the cache-coherence test to compare cached vs uncached plans in one
+// process). Caches are additionally bypassed per-call-site whenever a
+// *governed* AnalysisBudget is installed (finite limits or a fault
+// injector): budget charging is part of the observable degradation
+// contract, and a cache hit that skips charge points would let a starved
+// analysis dodge the exhaustion it is supposed to hit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace padfa {
+
+struct CacheStats {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> inserts{0};
+
+  void hit() { hits.fetch_add(1, std::memory_order_relaxed); }
+  void miss() { misses.fetch_add(1, std::memory_order_relaxed); }
+  void insert() { inserts.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t lookups() const {
+    return hits.load(std::memory_order_relaxed) +
+           misses.load(std::memory_order_relaxed);
+  }
+  double hitRate() const {
+    uint64_t n = lookups();
+    return n ? static_cast<double>(hits.load(std::memory_order_relaxed)) /
+                   static_cast<double>(n)
+             : 0.0;
+  }
+  void reset() {
+    hits.store(0, std::memory_order_relaxed);
+    misses.store(0, std::memory_order_relaxed);
+    inserts.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// The process-wide counter set, one CacheStats per engine cache.
+struct PerfStats {
+  CacheStats feasibility;  ///< pb::System::feasible() memo
+  CacheStats implies;      ///< Pred::implies pair memo
+  CacheStats simplify;     ///< Pred::simplify memo
+  CacheStats summary;      ///< translated callee-summary memo
+
+  static PerfStats& instance();
+
+  void resetAll() {
+    feasibility.reset();
+    implies.reset();
+    simplify.reset();
+    summary.reset();
+  }
+
+  /// One-line-per-cache human-readable dump for bench output.
+  std::string report() const;
+};
+
+/// Whether the memoization layer is active. Defaults to the environment
+/// (PADFA_NO_CACHE unset/empty => enabled); a setCachesEnabled() call
+/// takes precedence over the environment for the rest of the process.
+bool cachesEnabled();
+void setCachesEnabled(bool enabled);
+/// Drop any setCachesEnabled() override, reverting to the environment.
+void clearCachesEnabledOverride();
+
+}  // namespace padfa

@@ -1,8 +1,16 @@
 #include "symbolic/vartable.h"
 
+#include <atomic>
+
 namespace padfa {
 
-VarTable::VarTable(const Interner* interner) : interner_(interner) {
+namespace {
+std::atomic<uint64_t> g_next_vartable_epoch{1};
+}  // namespace
+
+VarTable::VarTable(const Interner* interner)
+    : interner_(interner),
+      epoch_(g_next_vartable_epoch.fetch_add(1, std::memory_order_relaxed)) {
   for (size_t k = 0; k < kMaxRank; ++k)
     entries_.push_back({VarKind::Dim, "@d" + std::to_string(k), nullptr});
 }
