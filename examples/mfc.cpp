@@ -7,6 +7,9 @@
 //   mfc lint    <file.mf|corpus:NAME>        run the MF-lint checker battery
 //   mfc audit   <file.mf|corpus:NAME>        re-verify plans (PlanAuditor)
 //   mfc race    <file.mf|corpus:NAME>        dynamic race oracle over a run
+//   mfc deps    <file.mf|corpus:NAME>        export the PDG (DOT; --json)
+//   mfc slice   <file.mf|corpus:NAME> <line>:<var>   backward program slice
+//   mfc certify <file.mf|corpus:NAME>        PDG vs plans vs auditor
 //   mfc list                                 list corpus programs
 //
 // Verification flags (combinable with any command, e.g. `mfc run x.mf
@@ -33,6 +36,9 @@
 #include "codegen/parallel_emit.h"
 #include "corpus/corpus.h"
 #include "driver/padfa.h"
+#include "pdg/certify.h"
+#include "pdg/pdg.h"
+#include "pdg/slice.h"
 
 using namespace padfa;
 
@@ -41,10 +47,21 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: mfc report|run|elpd|emit|lint|audit|race <file.mf|corpus:NAME> "
-      "[threads]\n"
-      "       mfc list\n"
-      "flags: --lint --audit --race-check --only=<ids> -Werror[=<ids>]\n");
+      "usage: mfc <command> [arguments] [flags]\n"
+      "commands:\n"
+      "  report  <file.mf|corpus:NAME>            parallelization report\n"
+      "  run     <file.mf|corpus:NAME> [threads]  execute the program\n"
+      "  elpd    <file.mf|corpus:NAME>            ELPD-inspect loops\n"
+      "  emit    <file.mf|corpus:NAME>            emit parallel MF source\n"
+      "  lint    <file.mf|corpus:NAME>            MF-lint checker battery\n"
+      "  audit   <file.mf|corpus:NAME>            plan-soundness auditor\n"
+      "  race    <file.mf|corpus:NAME>            dynamic race oracle\n"
+      "  deps    <file.mf|corpus:NAME>            PDG export (DOT; --json)\n"
+      "  slice   <file.mf|corpus:NAME> <line>:<var>  backward slice\n"
+      "  certify <file.mf|corpus:NAME>            PDG vs plans vs auditor\n"
+      "  list                                     list corpus programs\n"
+      "flags: --lint --audit --race-check --only=<ids> -Werror[=<ids>] "
+      "--json\n");
   return 2;
 }
 
@@ -88,10 +105,12 @@ std::vector<std::string> splitIds(const std::string& csv) {
 struct Cli {
   std::string cmd;
   std::string spec;
+  std::string criterion;  // slice only: "<line>:<var>"
   unsigned threads = 1;
   bool lint = false;
   bool audit = false;
   bool race = false;
+  bool json = false;
   bool werror = false;
   std::vector<std::string> werror_ids;
   std::vector<std::string> only;
@@ -252,6 +271,103 @@ int raceCheck(const CompiledProgram& cp) {
   return oracle.violationCount() > 0 ? 1 : 0;
 }
 
+/// Export the program dependence graph (DOT to stdout; --json for JSON).
+int deps(const CompiledProgram& cp, const Cli& cli) {
+  ProgramPdg pdg = buildPdg(*cp.program, cp.loops);
+  std::string out = cli.json ? pdgToJson(pdg, *cp.program)
+                             : pdgToDot(pdg, *cp.program);
+  std::fputs(out.c_str(), stdout);
+  std::fprintf(stderr,
+               "pdg: %zu node(s), %zu control, %zu flow, %zu anti, %zu "
+               "output edge(s), %zu carried\n",
+               pdg.stats.nodes, pdg.stats.control, pdg.stats.flow,
+               pdg.stats.anti, pdg.stats.output, pdg.stats.carried);
+  return 0;
+}
+
+/// Backward slice with caret diagnostics at every sliced statement.
+int slice(const CompiledProgram& cp, const Cli& cli,
+          const std::string& source) {
+  SliceCriterion crit;
+  std::string err;
+  if (!parseSliceCriterion(cli.criterion, crit, err)) {
+    std::fprintf(stderr, "mfc slice: %s\n", err.c_str());
+    return 2;
+  }
+  ProgramPdg pdg = buildPdg(*cp.program, cp.loops);
+  SliceResult result;
+  if (!computeSlice(pdg, *cp.program, crit, result, err)) {
+    std::fprintf(stderr, "mfc slice: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("slice of '%s' at line %u (%s): %zu statement(s) on %zu "
+              "line(s)\n",
+              crit.var.c_str(), crit.line,
+              std::string(cp.interner().str(result.proc->proc->name)).c_str(),
+              result.nodes.size(), result.lines.size());
+  DiagEngine diags;
+  std::set<uint32_t> seen_lines;
+  const CfgNode& cnode = result.proc->cfg.nodes[result.criterion_node];
+  if (cnode.loc.valid()) {
+    seen_lines.insert(cnode.loc.line);
+    diags.note(cnode.loc, "slice criterion", "padfa-slice");
+  }
+  for (uint32_t n : result.nodes) {
+    const CfgNode& node = result.proc->cfg.nodes[n];
+    if (node.kind == CfgNodeKind::Entry || node.kind == CfgNodeKind::Exit)
+      continue;
+    if (!node.loc.valid() || !seen_lines.insert(node.loc.line).second)
+      continue;
+    diags.note(node.loc, "in the backward slice of '" + crit.var + "'",
+               "padfa-slice");
+  }
+  std::fputs(renderDiagnostics(diags, source, cli.spec).c_str(), stdout);
+  return 0;
+}
+
+/// Third verification leg: check the predicated plans against the PDG's
+/// carried edges, then cross-check the verdicts against the PlanAuditor.
+int certify(const CompiledProgram& cp) {
+  ProgramPdg pdg = buildPdg(*cp.program, cp.loops);
+  int rc = 0;
+  for (const AnalysisResult* ar : {&cp.base, &cp.pred}) {
+    CertifyReport rep = certifyPlans(*cp.program, *ar, cp.loops, pdg);
+    DiagEngine quiet;
+    AuditReport audit_rep = auditPlans(*cp.program, *ar, quiet);
+    auto disagreements = crossCheckCertification(*cp.program, rep, audit_rep);
+    std::printf("certify (%s): %zu loop(s): %zu certified, %zu via run-time "
+                "test, %zu inconclusive, %zu DISAGREE; %zu auditor "
+                "mismatch(es)\n",
+                ar == &cp.base ? "base" : "predicated", rep.loops.size(),
+                rep.count(CertifyVerdict::Certified),
+                rep.count(CertifyVerdict::CertifiedTest),
+                rep.count(CertifyVerdict::Inconclusive),
+                rep.count(CertifyVerdict::Disagree), disagreements.size());
+    for (const auto& c : rep.loops) {
+      std::printf("  %-16s %-14s %s (%zu carried edge(s), %zu plan, %zu "
+                  "test)\n",
+                  c.loop->loop_id.c_str(),
+                  std::string(loopStatusName(c.status)).c_str(),
+                  std::string(certifyVerdictName(c.verdict)).c_str(),
+                  c.carried_edges, c.discharged_plan, c.discharged_test);
+      for (const auto& n : c.notes) std::printf("      %s\n", n.c_str());
+    }
+    for (const auto& d : disagreements)
+      std::printf("  MISMATCH: %s\n", d.c_str());
+    if (!rep.clean() || !disagreements.empty()) rc = 1;
+  }
+  return rc;
+}
+
+bool knownCommand(const std::string& cmd) {
+  static const char* kCommands[] = {"report", "run",  "elpd",  "emit",
+                                    "lint",   "audit", "race",  "deps",
+                                    "slice",  "certify", "list"};
+  for (const char* c : kCommands)
+    if (cmd == c) return true;
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -262,6 +378,7 @@ int main(int argc, char** argv) {
     if (a == "--lint") cli.lint = true;
     else if (a == "--audit") cli.audit = true;
     else if (a == "--race-check") cli.race = true;
+    else if (a == "--json") cli.json = true;
     else if (a == "-Werror") cli.werror = true;
     else if (a.rfind("-Werror=", 0) == 0) {
       for (auto& id : splitIds(a.substr(8))) cli.werror_ids.push_back(id);
@@ -276,8 +393,24 @@ int main(int argc, char** argv) {
   }
   if (!pos.empty()) cli.cmd = pos[0];
   if (pos.size() > 1) cli.spec = pos[1];
-  if (pos.size() > 2) cli.threads = static_cast<unsigned>(std::atoi(pos[2].c_str()));
+  if (pos.size() > 2) {
+    if (cli.cmd == "slice")
+      cli.criterion = pos[2];
+    else
+      cli.threads = static_cast<unsigned>(std::atoi(pos[2].c_str()));
+  }
 
+  if (cli.cmd.empty()) return usage();
+  if (!knownCommand(cli.cmd)) {
+    std::fprintf(stderr, "mfc: unknown subcommand '%s'\n", cli.cmd.c_str());
+    return usage();
+  }
+  if (cli.cmd == "slice" && cli.criterion.empty()) {
+    std::fprintf(stderr,
+                 "mfc slice: missing criterion (expected <line>:<var>, e.g. "
+                 "mfc slice prog.mf 12:sum)\n");
+    return 2;
+  }
   if (cli.cmd == "list") {
     for (const auto& e : corpus())
       std::printf("%-12s %s\n", e.name.c_str(), e.suite.c_str());
@@ -307,6 +440,9 @@ int main(int argc, char** argv) {
     if (cli.cmd == "report") rc |= report(*cp);
     else if (cli.cmd == "run") rc |= run(*cp, cli.threads);
     else if (cli.cmd == "elpd") rc |= elpd(*cp);
+    else if (cli.cmd == "deps") rc |= deps(*cp, cli);
+    else if (cli.cmd == "slice") rc |= slice(*cp, cli, source);
+    else if (cli.cmd == "certify") rc |= certify(*cp);
     else if (cli.cmd == "emit") {
       EmitStats stats;
       std::string out = emitParallelProgram(*cp->program, cp->pred, &stats);
@@ -314,8 +450,6 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "// %d parallel annotation(s), %d two-version "
                    "loop(s)\n",
                    stats.parallel_annotations, stats.two_version_loops);
-    } else if (cli.cmd != "lint" && cli.cmd != "audit" && cli.cmd != "race") {
-      return usage();
     }
   } catch (const RuntimeError& e) {
     std::fprintf(stderr, "%s\n", e.what());

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "pdg/cfg.h"
+#include "pdg/reaching.h"
 #include "predicate/pred.h"
 #include "presburger/set.h"
 #include "symbolic/affine.h"
@@ -124,6 +126,36 @@ void checkUnusedAndDeadStores(const Program& program, DiagEngine& diags,
                           "' is written but its value is never read",
                       "padfa-dead-store");
       }
+    }
+  }
+
+  // Statement-level sharpening via liveness (pdg/reaching.h): a scalar
+  // store whose target is dead-out of its CFG node is overwritten (or
+  // dropped at procedure exit) on EVERY path before any read — a
+  // provable fact, so it satisfies the lint philosophy even when the
+  // variable is read elsewhere. Variables with zero reads anywhere were
+  // already reported at their declaration above; skipping them here
+  // keeps one dead variable to one diagnostic.
+  if (!wanted(opt, "padfa-dead-store")) return;
+  for (const auto& proc : program.procs) {
+    ProcCfg cfg = buildCfg(program, *proc);
+    Liveness live(cfg);
+    live.run();
+    for (const CfgNode& n : cfg.nodes) {
+      if (n.kind != CfgNodeKind::Assign) continue;
+      const auto& as = static_cast<const AssignStmt&>(*n.stmt);
+      if (as.target->kind != ExprKind::VarRef) continue;  // arrays are weak
+      const VarDecl* d = static_cast<const VarRefExpr&>(*as.target).decl;
+      if (!d || d->is_loop_index) continue;
+      int reads = rc.reads.count(d) ? rc.reads.at(d) : 0;
+      if (reads == 0) continue;  // decl-level diagnostic already covers it
+      if (live.liveOut(n.id, d)) continue;
+      diags.warning(n.loc,
+                    "value stored to '" +
+                        std::string(program.interner.str(d->name)) +
+                        "' is never read (every path overwrites it or "
+                        "reaches the procedure exit first)",
+                    "padfa-dead-store");
     }
   }
 }

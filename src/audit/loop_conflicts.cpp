@@ -1,0 +1,738 @@
+#include "audit/loop_conflicts.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace padfa {
+
+void collectAssignedScalars(const BlockStmt& block,
+                            std::set<const VarDecl*>& out) {
+  for (const auto& d : block.decls)
+    if (!d->isArray() && d->init) out.insert(d.get());
+  for (const auto& st : block.stmts) {
+    switch (st->kind) {
+      case StmtKind::Assign: {
+        const auto& as = static_cast<const AssignStmt&>(*st);
+        if (as.target->kind == ExprKind::VarRef)
+          out.insert(static_cast<const VarRefExpr&>(*as.target).decl);
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(*st);
+        collectAssignedScalars(*i.then_block, out);
+        if (i.else_block) collectAssignedScalars(*i.else_block, out);
+        break;
+      }
+      case StmtKind::For:
+        collectAssignedScalars(*static_cast<const ForStmt&>(*st).body, out);
+        break;
+      case StmtKind::Block:
+        collectAssignedScalars(static_cast<const BlockStmt&>(*st), out);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void collectBodyReads(const BlockStmt& block, std::set<const VarDecl*>& out) {
+  std::vector<const VarDecl*> vs;
+  auto takeExpr = [&](const Expr& e) {
+    vs.clear();
+    collectVars(e, vs);
+    out.insert(vs.begin(), vs.end());
+  };
+  for (const auto& d : block.decls) {
+    for (const auto& dim : d->dims) takeExpr(*dim);
+    if (d->init) takeExpr(*d->init);
+  }
+  for (const auto& st : block.stmts) {
+    switch (st->kind) {
+      case StmtKind::Assign: {
+        const auto& as = static_cast<const AssignStmt&>(*st);
+        takeExpr(*as.value);
+        if (as.target->kind == ExprKind::ArrayRef)
+          for (const auto& idx :
+               static_cast<const ArrayRefExpr&>(*as.target).indices)
+            takeExpr(*idx);
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(*st);
+        takeExpr(*i.cond);
+        collectBodyReads(*i.then_block, out);
+        if (i.else_block) collectBodyReads(*i.else_block, out);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& fo = static_cast<const ForStmt&>(*st);
+        takeExpr(*fo.lower);
+        takeExpr(*fo.upper);
+        if (fo.step) takeExpr(*fo.step);
+        collectBodyReads(*fo.body, out);
+        break;
+      }
+      case StmtKind::Call:
+        for (const auto& a : static_cast<const CallStmt&>(*st).args)
+          takeExpr(*a);
+        break;
+      case StmtKind::Block:
+        collectBodyReads(static_cast<const BlockStmt&>(*st), out);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+namespace {
+
+/// All VarDecls declared inside `block` (storage re-created per entry).
+void collectDeclared(const BlockStmt& block, std::set<const VarDecl*>& out) {
+  for (const auto& d : block.decls) out.insert(d.get());
+  for (const auto& st : block.stmts) {
+    switch (st->kind) {
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(*st);
+        collectDeclared(*i.then_block, out);
+        if (i.else_block) collectDeclared(*i.else_block, out);
+        break;
+      }
+      case StmtKind::For:
+        collectDeclared(*static_cast<const ForStmt&>(*st).body, out);
+        break;
+      case StmtKind::Block:
+        collectDeclared(static_cast<const BlockStmt&>(*st), out);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+/// How a callee's array formal maps back to storage of the audited
+/// procedure. `priv == true` means the storage is created afresh inside
+/// the loop body (or a callee frame) and thus cannot carry values across
+/// iterations — its accesses are excluded from the dependence model.
+struct ArrayBinding {
+  const VarDecl* root = nullptr;
+  bool coarse = false;
+  bool priv = false;
+};
+
+/// One lexical frame of the (virtually) inlined loop body.
+struct FrameCtx {
+  const FrameCtx* parent = nullptr;
+  const ProcDecl* proc = nullptr;
+  std::map<const VarDecl*, const Expr*> scalar_args;  // formal -> actual
+  std::map<const VarDecl*, ArrayBinding> array_map;   // formal -> binding
+  std::map<const VarDecl*, pb::VarId> index_ids;      // frame-local loops
+  const std::set<const VarDecl*>* assigned = nullptr;
+  bool exact = true;  // false past the inline-depth cap
+};
+
+/// The body walk: collects accesses into the scanner. Separate class so
+/// the per-walk state (context levels, inline depth) is clearly scoped.
+class LoopBodyWalk {
+ public:
+  explicit LoopBodyWalk(LoopConflictScanner& s) : s_(s) {}
+
+  struct Level {
+    pb::System sys;
+    bool exact = true;
+  };
+
+  void run() {
+    collectAssignedScalars(*s_.loop_->body, s_.body_assigned_);
+    collectDeclared(*s_.loop_->body, s_.body_declared_);
+
+    FrameCtx root;
+    root.proc = s_.proc_;
+    root.assigned = &s_.body_assigned_;
+
+    // The audited iteration variable and its bounds form the outermost
+    // context level; every access inherits it.
+    s_.audited_idx_ = s_.vt_.idFor(s_.loop_->index_decl);
+    s_.instance_.insert(s_.audited_idx_);
+    anchor_ = s_.loop_;
+    levels_.push_back(loopLevel(*s_.loop_, s_.audited_idx_, root));
+    s_.loop_exact_ = levels_.back().exact;
+    walkBlock(*s_.loop_->body, root);
+    levels_.pop_back();
+  }
+
+ private:
+  // ------------------------------------------------ affine extraction --
+
+  /// Affine form of an int expression in frame `f`, expressed over the
+  /// audited procedure's symbols: loop indices keep per-frame instance
+  /// ids, callee scalar formals are inlined as their actual argument
+  /// expressions, and scalars whose value changes inside the audited
+  /// region are rejected (their id would conflate distinct values).
+  std::optional<pb::LinExpr> affineOf(const Expr& e, const FrameCtx& f) {
+    if (e.type != Type::Int) return std::nullopt;
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        return pb::LinExpr(static_cast<const IntLitExpr&>(e).value);
+      case ExprKind::VarRef: {
+        const VarDecl* d = static_cast<const VarRefExpr&>(e).decl;
+        if (!d || d->isArray()) return std::nullopt;
+        auto ii = f.index_ids.find(d);
+        if (ii != f.index_ids.end()) return pb::LinExpr::var(ii->second);
+        if (f.assigned->count(d)) return std::nullopt;
+        auto si = f.scalar_args.find(d);
+        if (si != f.scalar_args.end()) return affineOf(*si->second, *f.parent);
+        // Root frame: a loop-invariant scalar of the audited procedure.
+        if (!f.parent) return pb::LinExpr::var(s_.vt_.idFor(d));
+        // Callee local that is never assigned: the zero fill.
+        if (!d->is_param && !d->is_loop_index) return pb::LinExpr(0);
+        return std::nullopt;
+      }
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        if (u.op != UnOp::Neg) return std::nullopt;
+        auto a = affineOf(*u.operand, f);
+        if (!a) return std::nullopt;
+        return a->negated();
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        if (b.op != BinOp::Add && b.op != BinOp::Sub && b.op != BinOp::Mul)
+          return std::nullopt;
+        auto l = affineOf(*b.lhs, f);
+        auto r = affineOf(*b.rhs, f);
+        if (!l || !r) return std::nullopt;
+        if (b.op == BinOp::Add) return *l + *r;
+        if (b.op == BinOp::Sub) return *l - *r;
+        if (l->isConstant()) return *r * l->constant();
+        if (r->isConstant()) return *l * r->constant();
+        return std::nullopt;
+      }
+      case ExprKind::Intrinsic: {
+        const auto& c = static_cast<const IntrinsicExpr&>(e);
+        if ((c.fn != Intrinsic::Min && c.fn != Intrinsic::Max) ||
+            c.args.size() != 2)
+          return std::nullopt;
+        auto l = affineOf(*c.args[0], f);
+        auto r = affineOf(*c.args[1], f);
+        if (!l || !r || !l->isConstant() || !r->isConstant())
+          return std::nullopt;
+        int64_t v = c.fn == Intrinsic::Min
+                        ? std::min(l->constant(), r->constant())
+                        : std::max(l->constant(), r->constant());
+        return pb::LinExpr(v);
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // ------------------------------------------------- context building --
+
+  /// Convert a branch condition (or its negation) into entailed affine
+  /// constraints. Conjunctions convert exactly; disjunctions and
+  /// non-affine atoms contribute nothing and clear `exact`.
+  void convertCond(const Expr& e, const FrameCtx& f, bool neg, Level& lv) {
+    if (e.kind == ExprKind::Unary) {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      if (u.op == UnOp::Not) {
+        convertCond(*u.operand, f, !neg, lv);
+        return;
+      }
+    }
+    if (e.kind == ExprKind::Binary) {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      if ((b.op == BinOp::And && !neg) || (b.op == BinOp::Or && neg)) {
+        convertCond(*b.lhs, f, neg, lv);
+        convertCond(*b.rhs, f, neg, lv);
+        return;
+      }
+      if ((b.op == BinOp::Or && !neg) || (b.op == BinOp::And && neg)) {
+        lv.exact = false;  // disjunctive: not one convex piece
+        return;
+      }
+      if (isComparison(b.op)) {
+        auto l = affineOf(*b.lhs, f);
+        auto r = affineOf(*b.rhs, f);
+        if (!l || !r) {
+          lv.exact = false;
+          return;
+        }
+        BinOp op = b.op;
+        if (neg) {
+          switch (op) {
+            case BinOp::Eq: op = BinOp::Ne; break;
+            case BinOp::Ne: op = BinOp::Eq; break;
+            case BinOp::Lt: op = BinOp::Ge; break;
+            case BinOp::Le: op = BinOp::Gt; break;
+            case BinOp::Gt: op = BinOp::Le; break;
+            case BinOp::Ge: op = BinOp::Lt; break;
+            default: break;
+          }
+        }
+        pb::LinExpr d = *l - *r;  // constraints over l - r
+        switch (op) {
+          case BinOp::Lt:  // l <= r - 1  ==  r - l - 1 >= 0
+            lv.sys.addGE0(d.negated() - pb::LinExpr(1));
+            break;
+          case BinOp::Le:
+            lv.sys.addGE0(d.negated());
+            break;
+          case BinOp::Gt:
+            lv.sys.addGE0(d - pb::LinExpr(1));
+            break;
+          case BinOp::Ge:
+            lv.sys.addGE0(d);
+            break;
+          case BinOp::Eq:
+            lv.sys.addEQ0(d);
+            break;
+          case BinOp::Ne:
+            lv.exact = false;  // a hole, not a convex constraint
+            break;
+          default:
+            break;
+        }
+        return;
+      }
+    }
+    // Truth-flag use of an int expression.
+    auto a = affineOf(e, f);
+    if (a && a->isConstant()) {
+      bool holds = (a->constant() != 0) != neg;
+      if (!holds) lv.sys.addGE0(pb::LinExpr(-1));  // branch unreachable
+      return;
+    }
+    if (a && neg) {
+      lv.sys.addEQ0(*a);  // !e  ==  e == 0
+      return;
+    }
+    lv.exact = false;  // e != 0 (non-convex) or non-affine
+  }
+
+  /// Context level for one loop: bounds of its index, plus the stride
+  /// congruence i == lb + step*q when the step is a known constant.
+  Level loopLevel(const ForStmt& loop, pb::VarId idx, const FrameCtx& f) {
+    Level lv;
+    auto lb = affineOf(*loop.lower, f);
+    auto ub = affineOf(*loop.upper, f);
+    std::optional<int64_t> step = 1;
+    if (loop.step) {
+      auto s = affineOf(*loop.step, f);
+      if (s && s->isConstant())
+        step = s->constant();
+      else
+        step = std::nullopt;
+    }
+    pb::LinExpr iv = pb::LinExpr::var(idx);
+    if (!step || *step == 0) {
+      lv.exact = false;  // unknown direction: no bound is safe to assert
+      return lv;
+    }
+    if (*step > 0) {
+      if (lb) lv.sys.addGE0(iv - *lb);
+      if (ub) lv.sys.addGE0(*ub - iv);
+    } else {
+      if (lb) lv.sys.addGE0(*lb - iv);
+      if (ub) lv.sys.addGE0(iv - *ub);
+    }
+    if (std::abs(*step) > 1) {
+      if (lb) {
+        pb::VarId q = s_.vt_.fresh(VarKind::Index, "q");
+        s_.instance_.insert(q);
+        pb::LinExpr qe = pb::LinExpr::var(q, *step);
+        lv.sys.addEQ0(iv - *lb - qe);  // i == lb + step*q
+        lv.sys.addGE0(pb::LinExpr::var(q));
+      } else {
+        lv.exact = false;
+      }
+    }
+    if (!lb || !ub) lv.exact = false;
+    return lv;
+  }
+
+  pb::System currentCtx() const {
+    pb::System sys;
+    for (const auto& lv : levels_) sys.conjoin(lv.sys);
+    return sys;
+  }
+  bool levelsExact() const {
+    for (const auto& lv : levels_)
+      if (!lv.exact) return false;
+    return true;
+  }
+
+  // -------------------------------------------------- access recording --
+
+  ArrayBinding resolveArray(const VarDecl* d, const FrameCtx& f) const {
+    if (!f.parent) return {d, false, s_.body_declared_.count(d) > 0};
+    auto it = f.array_map.find(d);
+    if (it != f.array_map.end()) return it->second;
+    return {d, false, true};  // callee-local array: fresh per call
+  }
+
+  void recordAccess(const ArrayRefExpr& ref, bool write, const FrameCtx& f) {
+    if (!ref.decl) return;
+    ArrayBinding bind = resolveArray(ref.decl, f);
+    if (bind.priv) return;  // per-iteration storage cannot carry values
+    if (s_.accesses_.size() >= LoopConflictScanner::kMaxAccesses) {
+      s_.overflow_ = true;
+      return;
+    }
+    ConflictAccess acc;
+    acc.root = bind.root;
+    acc.view = ref.decl;
+    acc.write = write;
+    acc.loc = ref.loc;
+    acc.anchor = anchor_;
+    acc.ctx = currentCtx();
+    acc.exact = f.exact && levelsExact() && !bind.coarse;
+    acc.exact_subs = acc.exact;
+    if (!bind.coarse) {
+      const size_t rank = ref.indices.size();
+      acc.subs.resize(rank);
+      std::vector<std::optional<pb::LinExpr>> ext(rank);
+      bool subs_ok = true;
+      for (size_t j = 0; j < rank; ++j) {
+        acc.subs[j] = affineOf(*ref.indices[j], f);
+        if (!acc.subs[j]) subs_ok = false;
+        if (j < ref.decl->dims.size())
+          ext[j] = affineOf(*ref.decl->dims[j], f);
+        if (!ext[j]) {
+          acc.exact = false;
+          acc.exact_subs = false;
+        }
+      }
+      // In-bounds constraints: a faulting access never completes, so a
+      // conflict requiring an out-of-bounds subscript cannot happen.
+      for (size_t j = 0; j < rank; ++j) {
+        if (!acc.subs[j]) continue;
+        acc.ctx.addGE0(*acc.subs[j]);
+        if (ext[j]) acc.ctx.addGE0(*ext[j] - *acc.subs[j] - pb::LinExpr(1));
+      }
+      if (!subs_ok) acc.exact_subs = false;
+      // Row-major linearization; strides need constant trailing extents.
+      bool strides_const = true;
+      for (size_t j = 1; j < rank; ++j)
+        if (!ext[j] || !ext[j]->isConstant()) strides_const = false;
+      if (subs_ok && strides_const && rank > 0) {
+        pb::LinExpr flat = *acc.subs[0];
+        for (size_t j = 1; j < rank; ++j) {
+          flat *= ext[j]->constant();
+          flat += *acc.subs[j];
+        }
+        acc.flat = std::move(flat);
+      } else {
+        acc.exact = false;
+      }
+    } else {
+      acc.exact_subs = false;
+    }
+    s_.accesses_.push_back(std::move(acc));
+  }
+
+  // ------------------------------------------------------ body walk --
+
+  void visitExpr(const Expr& e, const FrameCtx& f) {
+    switch (e.kind) {
+      case ExprKind::ArrayRef: {
+        const auto& a = static_cast<const ArrayRefExpr&>(e);
+        for (const auto& idx : a.indices) visitExpr(*idx, f);
+        recordAccess(a, /*write=*/false, f);
+        return;
+      }
+      case ExprKind::Unary:
+        visitExpr(*static_cast<const UnaryExpr&>(e).operand, f);
+        return;
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        visitExpr(*b.lhs, f);
+        visitExpr(*b.rhs, f);
+        return;
+      }
+      case ExprKind::Intrinsic:
+        for (const auto& a : static_cast<const IntrinsicExpr&>(e).args)
+          visitExpr(*a, f);
+        return;
+      default:
+        return;
+    }
+  }
+
+  void walkBlock(const BlockStmt& block, FrameCtx& f) {
+    for (const auto& d : block.decls) {
+      for (const auto& dim : d->dims) visitExpr(*dim, f);
+      if (d->init) visitExpr(*d->init, f);
+    }
+    for (const auto& st : block.stmts) walkStmt(*st, f);
+  }
+
+  void walkStmt(const Stmt& s, FrameCtx& f) {
+    if (!f.parent) anchor_ = &s;
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        const auto& as = static_cast<const AssignStmt&>(s);
+        visitExpr(*as.value, f);
+        if (as.target->kind == ExprKind::ArrayRef) {
+          const auto& ref = static_cast<const ArrayRefExpr&>(*as.target);
+          for (const auto& idx : ref.indices) visitExpr(*idx, f);
+          recordAccess(ref, /*write=*/true, f);
+        }
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        visitExpr(*i.cond, f);
+        Level then_lv;
+        convertCond(*i.cond, f, /*neg=*/false, then_lv);
+        levels_.push_back(std::move(then_lv));
+        walkBlock(*i.then_block, f);
+        levels_.pop_back();
+        if (i.else_block) {
+          Level else_lv;
+          convertCond(*i.cond, f, /*neg=*/true, else_lv);
+          levels_.push_back(std::move(else_lv));
+          walkBlock(*i.else_block, f);
+          levels_.pop_back();
+        }
+        if (!f.parent) anchor_ = &s;
+        break;
+      }
+      case StmtKind::For: {
+        const auto& loop = static_cast<const ForStmt&>(s);
+        visitExpr(*loop.lower, f);
+        visitExpr(*loop.upper, f);
+        if (loop.step) visitExpr(*loop.step, f);
+        // Inner loop indices are per-call-site instances: a callee inlined
+        // at two sites must not share constraint variables between them.
+        pb::VarId idx =
+            f.parent ? s_.vt_.fresh(VarKind::Index,
+                                    std::string(s_.program_.interner.str(
+                                        loop.index_decl->name)))
+                     : s_.vt_.idFor(loop.index_decl);
+        s_.instance_.insert(idx);
+        f.index_ids[loop.index_decl] = idx;
+        levels_.push_back(loopLevel(loop, idx, f));
+        walkBlock(*loop.body, f);
+        levels_.pop_back();
+        f.index_ids.erase(loop.index_decl);
+        if (!f.parent) anchor_ = &s;
+        break;
+      }
+      case StmtKind::Call:
+        walkCall(static_cast<const CallStmt&>(s), f);
+        break;
+      case StmtKind::Block:
+        walkBlock(static_cast<const BlockStmt&>(s), f);
+        break;
+      case StmtKind::Return:
+        break;
+    }
+  }
+
+  void walkCall(const CallStmt& call, FrameCtx& f) {
+    for (const auto& a : call.args) visitExpr(*a, f);
+    if (call.is_sink) return;
+    const ProcDecl* callee = call.callee_proc;
+    if (!callee || depth_ >= LoopConflictScanner::kMaxInlineDepth) {
+      // Conservative: the callee may read and write anything it was
+      // handed, anywhere in the buffer.
+      for (const auto& a : call.args) {
+        if (a->kind != ExprKind::VarRef) continue;
+        const auto& vr = static_cast<const VarRefExpr&>(*a);
+        if (!vr.decl || !vr.decl->isArray()) continue;
+        ArrayBinding bind = resolveArray(vr.decl, f);
+        if (bind.priv ||
+            s_.accesses_.size() >= LoopConflictScanner::kMaxAccesses) {
+          s_.overflow_ |=
+              s_.accesses_.size() >= LoopConflictScanner::kMaxAccesses;
+          continue;
+        }
+        ConflictAccess acc;
+        acc.root = bind.root;
+        acc.write = true;
+        acc.exact = false;
+        acc.exact_subs = false;
+        acc.loc = call.loc;
+        acc.anchor = anchor_;
+        acc.ctx = currentCtx();
+        s_.accesses_.push_back(std::move(acc));
+      }
+      return;
+    }
+    FrameCtx cf;
+    cf.parent = &f;
+    cf.proc = callee;
+    cf.exact = f.exact;
+    cf.assigned = &assignedScalarsOf(*callee);
+    for (size_t i = 0; i < call.args.size() && i < callee->params.size();
+         ++i) {
+      const VarDecl* formal = callee->params[i].get();
+      if (formal->isArray()) {
+        if (call.args[i]->kind == ExprKind::VarRef) {
+          const auto& vr = static_cast<const VarRefExpr&>(*call.args[i]);
+          cf.array_map[formal] = resolveArray(vr.decl, f);
+        } else {
+          cf.array_map[formal] = {nullptr, true, true};
+        }
+      } else {
+        cf.scalar_args[formal] = call.args[i].get();
+      }
+    }
+    ++depth_;
+    walkBlock(*callee->body, cf);
+    --depth_;
+  }
+
+  const std::set<const VarDecl*>& assignedScalarsOf(const ProcDecl& proc) {
+    auto it = proc_assigned_.find(&proc);
+    if (it != proc_assigned_.end()) return it->second;
+    std::set<const VarDecl*> s;
+    collectAssignedScalars(*proc.body, s);
+    return proc_assigned_.emplace(&proc, std::move(s)).first->second;
+  }
+
+  LoopConflictScanner& s_;
+  std::vector<Level> levels_;
+  std::map<const ProcDecl*, std::set<const VarDecl*>> proc_assigned_;
+  const Stmt* anchor_ = nullptr;
+  int depth_ = 0;
+};
+
+// ------------------------------------------------------------------------
+
+LoopConflictScanner::LoopConflictScanner(const Program& program,
+                                         const ForStmt* loop,
+                                         const ProcDecl* proc)
+    : program_(program), loop_(loop), proc_(proc), vt_(&program.interner) {}
+
+void LoopConflictScanner::scan() {
+  if (scanned_) return;
+  scanned_ = true;
+  LoopBodyWalk walk(*this);
+  walk.run();
+}
+
+LoopConflictScanner::PairEq LoopConflictScanner::pairEq(
+    const ConflictAccess& a, const ConflictAccess& b) {
+  if (a.flat && b.flat) return PairEq::Flat;
+  if (a.view && a.view == b.view && a.subs.size() == b.subs.size() &&
+      !a.subs.empty()) {
+    for (size_t j = 0; j < a.subs.size(); ++j)
+      if (!a.subs[j] || !b.subs[j]) return PairEq::None;
+    return PairEq::Subs;
+  }
+  return PairEq::None;
+}
+
+bool LoopConflictScanner::pairExactly(const ConflictAccess& a,
+                                      const ConflictAccess& b, PairEq eq) {
+  switch (eq) {
+    case PairEq::Flat: return a.exact && b.exact;
+    case PairEq::Subs: return a.exact_subs && b.exact_subs;
+    case PairEq::None: return false;
+  }
+  return false;
+}
+
+LoopConflictScanner::Copy LoopConflictScanner::instantiate(
+    const ConflictAccess& a, int which) {
+  std::map<pb::VarId, pb::VarId> ren;
+  auto renamed = [&](pb::VarId v) {
+    auto it = ren.find(v);
+    if (it != ren.end()) return it->second;
+    pb::VarId nv =
+        vt_.fresh(VarKind::Index, vt_.nameOf(v) + (which == 1 ? "'" : "''"));
+    ren.emplace(v, nv);
+    return nv;
+  };
+  auto renameExpr = [&](const pb::LinExpr& e) {
+    pb::LinExpr out = e;
+    for (const auto& [v, coeff] : e.terms())
+      if (instance_.count(v)) out.substitute(v, pb::LinExpr::var(renamed(v)));
+    return out;
+  };
+  Copy c;
+  c.idx = renamed(audited_idx_);
+  c.ctx = a.ctx;
+  for (pb::VarId v : a.ctx.usedVars())
+    if (instance_.count(v)) c.ctx.substitute(v, pb::LinExpr::var(renamed(v)));
+  if (a.flat) c.flat = renameExpr(*a.flat);
+  for (const auto& s : a.subs)
+    c.subs.push_back(s ? std::optional<pb::LinExpr>(renameExpr(*s))
+                       : std::nullopt);
+  return c;
+}
+
+bool LoopConflictScanner::orderFeasible(const Copy& lo, const Copy& hi,
+                                        PairEq eq, const pb::System* extra,
+                                        pb::System* out) {
+  pb::System sys;
+  sys.conjoin(lo.ctx);
+  sys.conjoin(hi.ctx);
+  if (eq == PairEq::Flat) {
+    sys.addEQ0(*lo.flat - *hi.flat);
+  } else if (eq == PairEq::Subs) {
+    for (size_t j = 0; j < lo.subs.size(); ++j)
+      sys.addEQ0(*lo.subs[j] - *hi.subs[j]);
+  }
+  if (extra) sys.conjoin(*extra);
+  pb::LinExpr ord = pb::LinExpr::var(hi.idx) - pb::LinExpr::var(lo.idx);
+  ord.setConstant(-1);  // hi - lo - 1 >= 0, i.e. lo < hi
+  sys.addGE0(std::move(ord));
+  if (!sys.normalize() || !sys.feasible()) return false;
+  if (out) *out = std::move(sys);
+  return true;
+}
+
+bool LoopConflictScanner::conflictExists(const ConflictAccess& a,
+                                         const ConflictAccess& b, PairEq eq,
+                                         const pb::System* extra) {
+  Copy c1 = instantiate(a, 1);
+  Copy c2 = instantiate(b, 2);
+  return orderFeasible(c1, c2, eq, extra) || orderFeasible(c2, c1, eq, extra);
+}
+
+bool LoopConflictScanner::conflictInOrder(const ConflictAccess& a,
+                                          const ConflictAccess& b, PairEq eq,
+                                          const pb::System* extra) {
+  Copy c1 = instantiate(a, 1);
+  Copy c2 = instantiate(b, 2);
+  return orderFeasible(c1, c2, eq, extra);
+}
+
+LoopConflictScanner::DepGeometry LoopConflictScanner::geometry(
+    const ConflictAccess& a, const ConflictAccess& b, PairEq eq) {
+  DepGeometry g;
+  Copy c1 = instantiate(a, 1);
+  Copy c2 = instantiate(b, 2);
+  pb::System sys;
+  if (!orderFeasible(c1, c2, eq, nullptr, &sys)) return g;
+  g.feasible = true;
+  // Project the conflict system onto d = i2 - i1 and read off a forced
+  // constant distance, if any. The projection is a rational shadow
+  // (superset), so a forced equality there is forced in the integer
+  // system too — safe to report.
+  pb::VarId d = vt_.fresh(VarKind::Index, "d");
+  pb::LinExpr def = pb::LinExpr::var(d);
+  def -= pb::LinExpr::var(c2.idx);
+  def += pb::LinExpr::var(c1.idx);
+  sys.addEQ0(std::move(def));  // d == i2 - i1
+  if (!sys.projectOnto([d](pb::VarId v) { return v == d; })) return g;
+  if (!sys.normalize()) return g;
+  for (const auto& c : sys.constraints()) {
+    if (c.kind != pb::CmpKind::EQ0) continue;
+    if (c.expr.numTerms() == 1 && c.expr.terms()[0].first == d) {
+      int64_t k = c.expr.terms()[0].second;
+      if (k != 0 && c.expr.constant() % k == 0) {
+        g.distance = -c.expr.constant() / k;  // k*d + c == 0
+        return g;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace padfa

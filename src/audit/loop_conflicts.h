@@ -1,0 +1,159 @@
+// Shared loop-body access model and Presburger conflict tester.
+//
+// This is the machinery the PlanAuditor (plan_audit.cpp) uses to re-derive
+// cross-iteration independence from first principles, factored out so other
+// clients — notably the Program Dependence Graph builder (src/pdg/) — can
+// reuse the exact same conflict systems instead of growing a third, subtly
+// different dependence model. The contract is unchanged from the original
+// auditor (see plan_audit.h for the full soundness discussion):
+//
+//  * scan() walks the audited loop body, virtually inlining calls, and
+//    collects every array access as a linearized affine offset (plus a
+//    per-dimension subscript vector) under an affine execution context.
+//  * conflictInOrder()/conflictExists() build the conflict system
+//        bounds(i1) ∧ bounds(i2) ∧ i1 < i2 ∧ ctx_a(i1) ∧ ctx_b(i2)
+//             ∧ offset_a(i1) = offset_b(i2)
+//    and test rational feasibility; infeasibility proves independence.
+//  * geometry() additionally projects the conflict system onto the
+//    iteration distance d = i2 - i1, recovering a constant dependence
+//    distance when the system forces one (the distance/direction
+//    annotation on loop-carried PDG edges).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "lang/ast.h"
+#include "presburger/system.h"
+#include "symbolic/vartable.h"
+
+namespace padfa {
+
+/// One array access collected from the (virtually inlined) loop body.
+struct ConflictAccess {
+  const VarDecl* root = nullptr;
+  /// The decl the reference goes through (== root except in callees,
+  /// where it is the formal). Two accesses through the SAME view can be
+  /// compared per-dimension even when strides are symbolic.
+  const VarDecl* view = nullptr;
+  bool write = false;
+  bool exact = true;       // flat offset + context modeled exactly
+  bool exact_subs = true;  // subscript vector + context modeled exactly
+  SourceLoc loc;
+  /// Innermost statement of the *audited* procedure whose execution
+  /// performs this access (accesses inside inlined callees anchor to the
+  /// call statement). Lets graph clients attribute the access to a node.
+  const Stmt* anchor = nullptr;
+  /// Linearized buffer offset (row-major over the view's extents);
+  /// nullopt = coarse (conflicts possible anywhere in the buffer).
+  std::optional<pb::LinExpr> flat;
+  /// Per-dimension affine subscripts (nullopt entries = non-affine).
+  std::vector<std::optional<pb::LinExpr>> subs;
+  pb::System ctx;
+};
+
+/// Scans one loop and answers cross-iteration conflict queries over the
+/// collected accesses. One instance per audited loop; not thread-safe.
+class LoopConflictScanner {
+ public:
+  static constexpr int kMaxInlineDepth = 12;
+  static constexpr size_t kMaxAccesses = 256;
+
+  LoopConflictScanner(const Program& program, const ForStmt* loop,
+                      const ProcDecl* proc);
+
+  /// Collect accesses (idempotent; cheap to call again).
+  void scan();
+
+  const std::vector<ConflictAccess>& accesses() const { return accesses_; }
+  /// True when the access cap was hit; the scan is partial.
+  bool overflow() const { return overflow_; }
+  /// False when the audited loop's own bounds/step are not exactly affine.
+  bool loopExact() const { return loop_exact_; }
+
+  /// Scalars assigned (transitively) in the loop body.
+  const std::set<const VarDecl*>& bodyAssigned() const {
+    return body_assigned_;
+  }
+  /// VarDecls declared (storage re-created per entry) inside the body.
+  const std::set<const VarDecl*>& bodyDeclared() const {
+    return body_declared_;
+  }
+
+  /// The variable table conflict systems are expressed over; clients
+  /// building extra constraints (e.g. a run-time test's affine upper
+  /// bound) must use this table.
+  VarTable& varTable() { return vt_; }
+
+  /// How a pair's "same element" equation is expressed.
+  enum class PairEq {
+    Flat,  // linearized offsets equal (handles reshape across views)
+    Subs,  // same view, per-dimension subscripts equal (symbolic strides)
+    None,  // coarse: any two elements may coincide
+  };
+  static PairEq pairEq(const ConflictAccess& a, const ConflictAccess& b);
+  /// Does the conflict system for (a, b) under `eq` model both accesses
+  /// exactly (so feasibility is meaningful, not just conservative)?
+  static bool pairExactly(const ConflictAccess& a, const ConflictAccess& b,
+                          PairEq eq);
+
+  /// Is a cross-iteration conflict between `a` and `b` satisfiable in
+  /// either iteration order, optionally under extra constraints?
+  bool conflictExists(const ConflictAccess& a, const ConflictAccess& b,
+                      PairEq eq, const pb::System* extra);
+
+  /// Directed variant: `a` executes in a strictly earlier iteration of
+  /// the audited loop than `b`.
+  bool conflictInOrder(const ConflictAccess& a, const ConflictAccess& b,
+                       PairEq eq, const pb::System* extra);
+
+  /// Geometry of the directed carried dependence a -> b (a earlier).
+  struct DepGeometry {
+    bool feasible = false;
+    /// Constant iteration distance when the conflict system forces one
+    /// (projection onto d = i2 - i1 yields an equality); nullopt = the
+    /// distance varies or could not be pinned ("+" direction only).
+    std::optional<int64_t> distance;
+  };
+  DepGeometry geometry(const ConflictAccess& a, const ConflictAccess& b,
+                       PairEq eq);
+
+ private:
+  struct Copy {
+    pb::System ctx;
+    std::optional<pb::LinExpr> flat;
+    std::vector<std::optional<pb::LinExpr>> subs;
+    pb::VarId idx = pb::kInvalidVar;  // this copy's audited index
+  };
+  Copy instantiate(const ConflictAccess& a, int which);
+  bool orderFeasible(const Copy& lo, const Copy& hi, PairEq eq,
+                     const pb::System* extra, pb::System* out = nullptr);
+
+  const Program& program_;
+  const ForStmt* loop_;
+  const ProcDecl* proc_;
+  VarTable vt_;
+  std::vector<ConflictAccess> accesses_;
+  std::set<const VarDecl*> body_assigned_;
+  std::set<const VarDecl*> body_declared_;
+  std::set<pb::VarId> instance_;
+  pb::VarId audited_idx_ = pb::kInvalidVar;
+  bool loop_exact_ = true;
+  bool overflow_ = false;
+  bool scanned_ = false;
+
+  friend class LoopBodyWalk;
+};
+
+/// Scalars whose value changes inside `block` (assignment targets plus
+/// declarations with initializers, transitively).
+void collectAssignedScalars(const BlockStmt& block,
+                            std::set<const VarDecl*>& out);
+
+/// Reads of scalars/arrays anywhere in `block` (cheap over-approximation
+/// used by the auditor's scalar-coverage check).
+void collectBodyReads(const BlockStmt& block, std::set<const VarDecl*>& out);
+
+}  // namespace padfa

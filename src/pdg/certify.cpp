@@ -1,0 +1,234 @@
+#include "pdg/certify.h"
+
+#include <map>
+
+#include "audit/loop_conflicts.h"
+#include "predicate/pred.h"
+
+namespace padfa {
+
+std::string_view certifyVerdictName(CertifyVerdict v) {
+  switch (v) {
+    case CertifyVerdict::Certified: return "certified";
+    case CertifyVerdict::CertifiedTest: return "certified-test";
+    case CertifyVerdict::Inconclusive: return "inconclusive";
+    case CertifyVerdict::Disagree: return "disagree";
+  }
+  return "?";
+}
+
+size_t CertifyReport::count(CertifyVerdict v) const {
+  size_t n = 0;
+  for (const auto& c : loops) n += c.verdict == v;
+  return n;
+}
+
+namespace {
+
+void raiseTo(LoopCertificate& cert, CertifyVerdict v) {
+  if (static_cast<uint8_t>(v) > static_cast<uint8_t>(cert.verdict))
+    cert.verdict = v;
+}
+
+bool planPrivatizes(const LoopPlan& plan, const VarDecl* array) {
+  for (const auto& pa : plan.privatized)
+    if (pa.array == array) return true;
+  return false;
+}
+
+bool planCoversScalar(const LoopPlan& plan, const VarDecl* scalar) {
+  for (const VarDecl* p : plan.private_scalars)
+    if (p == scalar) return true;
+  for (const VarDecl* p : plan.copy_out_scalars)
+    if (p == scalar) return true;
+  for (const auto& r : plan.reductions)
+    if (r.scalar == scalar) return true;
+  return false;
+}
+
+/// Does the plan's run-time test (affinely) exclude every remaining
+/// cross-iteration conflict on `root`? Re-asks the same conflict systems
+/// the PDG edges came from, now conjoined with the test's upper bound —
+/// the auditor's discharge step, applied edge-wise.
+bool testDischargesRoot(LoopConflictScanner& scanner, const pb::System& test_ub,
+                        const VarDecl* root) {
+  const auto& acc = scanner.accesses();
+  for (size_t i = 0; i < acc.size(); ++i) {
+    for (size_t j = i; j < acc.size(); ++j) {
+      const ConflictAccess& a = acc[i];
+      const ConflictAccess& b = acc[j];
+      if (a.root != root || b.root != root || (!a.write && !b.write))
+        continue;
+      auto eq = LoopConflictScanner::pairEq(a, b);
+      if (!scanner.conflictExists(a, b, eq, nullptr)) continue;
+      if (scanner.conflictExists(a, b, eq, &test_ub)) return false;
+    }
+  }
+  return true;
+}
+
+LoopCertificate certifyLoop(const Program& program, const LoopPlan& plan,
+                            const ProgramPdg& pdg) {
+  LoopCertificate cert;
+  cert.loop = plan.loop;
+  cert.proc = plan.proc;
+  cert.status = plan.status;
+
+  const ProcPdg* proc_pdg = pdg.forProc(plan.proc);
+  if (!proc_pdg) {
+    cert.notes.push_back("no PDG for procedure");
+    raiseTo(cert, CertifyVerdict::Inconclusive);
+    return cert;
+  }
+
+  // The test-discharge scanner is built lazily: most loops never need it.
+  LoopConflictScanner scanner(program, plan.loop, plan.proc);
+  bool scanned = false;
+  pb::System test_ub;
+  auto ensureScanned = [&] {
+    if (scanned) return;
+    scanner.scan();
+    if (plan.status == LoopStatus::RuntimeTest)
+      test_ub = plan.runtime_test.affineUpperBound(scanner.varTable());
+    scanned = true;
+  };
+
+  // Which roots the run-time test fully discharges, memoized per loop.
+  std::map<const VarDecl*, bool> test_ok;
+  auto testDischarges = [&](const VarDecl* root) {
+    if (plan.status != LoopStatus::RuntimeTest) return false;
+    ensureScanned();
+    auto it = test_ok.find(root);
+    if (it == test_ok.end())
+      it = test_ok.emplace(root, testDischargesRoot(scanner, test_ub, root))
+               .first;
+    return it->second;
+  };
+
+  for (const PdgEdge& e : proc_pdg->edges) {
+    if (!e.carried || e.carrier != plan.loop) continue;
+    if (e.kind == PdgEdgeKind::Control) continue;
+    ++cert.carried_edges;
+    const std::string var_name(program.interner.str(e.var->name));
+    const std::string where =
+        std::string(pdgEdgeKindName(e.kind)) + " dependence on '" + var_name +
+        "' (" + std::to_string(e.src) + " -> " + std::to_string(e.dst) +
+        (e.distance ? ", distance " + std::to_string(*e.distance) : "") + ")";
+    if (e.var->isArray()) {
+      if (planPrivatizes(plan, e.var)) {
+        ++cert.discharged_plan;
+      } else if (testDischarges(e.var)) {
+        ++cert.discharged_test;
+        raiseTo(cert, CertifyVerdict::CertifiedTest);
+      } else if (e.exact && plan.status == LoopStatus::Parallel) {
+        ++cert.undischarged_exact;
+        cert.notes.push_back("undischarged carried " + where);
+        raiseTo(cert, CertifyVerdict::Disagree);
+      } else {
+        // Approximate edge, or an exact edge the run-time test cannot
+        // affinely exclude — the auditor calls both Inconclusive and
+        // defers to the race oracle; so do we.
+        ++cert.undischarged_approx;
+        cert.notes.push_back("unresolved carried " + where);
+        raiseTo(cert, CertifyVerdict::Inconclusive);
+      }
+    } else {
+      if (planCoversScalar(plan, e.var)) {
+        ++cert.discharged_plan;
+      } else {
+        ++cert.undischarged_approx;
+        cert.notes.push_back("unresolved carried " + where);
+        raiseTo(cert, CertifyVerdict::Inconclusive);
+      }
+    }
+  }
+
+  // An access-cap overflow means the PDG (like the audit) may be missing
+  // carried edges entirely.
+  ensureScanned();
+  if (scanner.overflow()) {
+    cert.notes.push_back("access cap exceeded; certification is partial");
+    raiseTo(cert, CertifyVerdict::Inconclusive);
+  }
+  return cert;
+}
+
+}  // namespace
+
+CertifyReport certifyPlans(const Program& program,
+                           const AnalysisResult& analysis,
+                           const LoopTree& loops, const ProgramPdg& pdg) {
+  CertifyReport report;
+  for (const LoopNode* ln : loops.allLoops()) {
+    const LoopPlan* plan = analysis.planFor(ln->loop);
+    if (!plan) continue;
+    if (plan->status != LoopStatus::Parallel &&
+        plan->status != LoopStatus::RuntimeTest)
+      continue;
+    report.loops.push_back(certifyLoop(program, *plan, pdg));
+  }
+  return report;
+}
+
+namespace {
+
+// Both verdict scales collapse onto the same three-step ladder:
+// green = the plan is fine as declared, amber = deferred to the dynamic
+// race oracle, red = statically contradicted. The cross-check demands
+// the two legs land on the SAME step for every loop — a strictly
+// stronger invariant than only agreeing on red.
+int rankOf(CertifyVerdict v) {
+  switch (v) {
+    case CertifyVerdict::Certified:
+    case CertifyVerdict::CertifiedTest: return 0;
+    case CertifyVerdict::Inconclusive: return 1;
+    case CertifyVerdict::Disagree: return 2;
+  }
+  return 2;
+}
+
+int rankOf(AuditVerdict v) {
+  switch (v) {
+    case AuditVerdict::Independent:
+    case AuditVerdict::DischargedTest: return 0;
+    case AuditVerdict::Inconclusive: return 1;
+    case AuditVerdict::Unsound: return 2;
+  }
+  return 2;
+}
+
+}  // namespace
+
+std::vector<std::string> crossCheckCertification(const Program& program,
+                                                 const CertifyReport& cert,
+                                                 const AuditReport& audit) {
+  std::vector<std::string> disagreements;
+  std::map<const ForStmt*, const LoopAudit*> by_loop;
+  for (const LoopAudit& a : audit.loops) by_loop[a.loop] = &a;
+  for (const LoopCertificate& c : cert.loops) {
+    auto it = by_loop.find(c.loop);
+    std::string id = c.loop ? c.loop->loop_id : "?";
+    if (it == by_loop.end()) {
+      disagreements.push_back("loop " + id + ": certified but never audited");
+      continue;
+    }
+    const LoopAudit& a = *it->second;
+    if (rankOf(c.verdict) != rankOf(a.verdict)) {
+      disagreements.push_back(
+          "loop " + id + ": certify says " +
+          std::string(certifyVerdictName(c.verdict)) + " but audit says " +
+          std::string(auditVerdictName(a.verdict)));
+    }
+  }
+  for (const LoopAudit& a : audit.loops) {
+    bool found = false;
+    for (const LoopCertificate& c : cert.loops) found |= c.loop == a.loop;
+    if (!found)
+      disagreements.push_back("loop " + (a.loop ? a.loop->loop_id : "?") +
+                              ": audited but never certified");
+  }
+  (void)program;
+  return disagreements;
+}
+
+}  // namespace padfa

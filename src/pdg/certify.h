@@ -1,0 +1,79 @@
+// PDG <-> plan cross-certification: the third verification leg
+// (DESIGN.md §11), alongside the static PlanAuditor and the dynamic race
+// oracle.
+//
+// For every loop the analysis planned Parallel or RuntimeTest, the
+// certifier collects the PDG's loop-carried data edges whose carrier is
+// that loop and checks that each one is discharged by the plan's own
+// declarations: array edges by privatization or (for RuntimeTest plans)
+// by the derived run-time test, scalar edges by privatization /
+// copy-out / reduction declarations.
+//
+// Verdict discipline mirrors the auditor's exactly, by construction:
+//
+//   Certified      — every carried edge discharged without the test
+//   CertifiedTest  — some edge needed the run-time test
+//   Inconclusive   — an undischarged edge exists but is approximate
+//                    (coarse modeling / scalar may-dep) — the race
+//                    oracle cross-examines, same as audit Inconclusive
+//   Disagree       — an undischarged EXACT carried array edge on a
+//                    Parallel plan: the graph contradicts the plan
+//
+// The three-way agreement invariant the corpus sweep asserts:
+//   certify(L) == Disagree  <=>  audit(L) == Unsound
+// and a clean analysis produces neither.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "audit/plan_audit.h"
+#include "ir/region.h"
+#include "pdg/pdg.h"
+
+namespace padfa {
+
+enum class CertifyVerdict : uint8_t {
+  Certified,
+  CertifiedTest,
+  Inconclusive,
+  Disagree,
+};
+
+std::string_view certifyVerdictName(CertifyVerdict v);
+
+struct LoopCertificate {
+  const ForStmt* loop = nullptr;
+  const ProcDecl* proc = nullptr;
+  LoopStatus status = LoopStatus::Sequential;
+  CertifyVerdict verdict = CertifyVerdict::Certified;
+  size_t carried_edges = 0;      // carried data edges with this carrier
+  size_t discharged_plan = 0;    // by privatization/reduction declarations
+  size_t discharged_test = 0;    // by the run-time test
+  size_t undischarged_exact = 0;
+  size_t undischarged_approx = 0;
+  std::vector<std::string> notes;
+};
+
+struct CertifyReport {
+  std::vector<LoopCertificate> loops;
+
+  size_t count(CertifyVerdict v) const;
+  bool clean() const { return count(CertifyVerdict::Disagree) == 0; }
+};
+
+/// Certify every Parallel / RuntimeTest plan against the PDG. The report
+/// covers exactly the loops auditPlans() audits, in the same order.
+CertifyReport certifyPlans(const Program& program,
+                           const AnalysisResult& analysis,
+                           const LoopTree& loops, const ProgramPdg& pdg);
+
+/// Cross-check a certification report against an audit report of the
+/// same program (pairing loops by ForStmt). Returns human-readable
+/// descriptions of verdict disagreements — an empty vector is the
+/// three-way agreement invariant holding.
+std::vector<std::string> crossCheckCertification(const Program& program,
+                                                 const CertifyReport& cert,
+                                                 const AuditReport& audit);
+
+}  // namespace padfa

@@ -1,0 +1,283 @@
+#include "pdg/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+namespace padfa {
+
+std::string_view cfgNodeKindName(CfgNodeKind k) {
+  switch (k) {
+    case CfgNodeKind::Entry: return "entry";
+    case CfgNodeKind::Exit: return "exit";
+    case CfgNodeKind::Decl: return "decl";
+    case CfgNodeKind::Assign: return "assign";
+    case CfgNodeKind::Branch: return "branch";
+    case CfgNodeKind::LoopHead: return "loop";
+    case CfgNodeKind::Call: return "call";
+    case CfgNodeKind::Return: return "return";
+  }
+  return "?";
+}
+
+bool ProcCfg::isBackEdge(uint32_t from, uint32_t to) const {
+  for (const auto& [f, t] : back_edges)
+    if (f == from && t == to) return true;
+  return false;
+}
+
+void ProcCfg::computeRpo() {
+  rpo.clear();
+  std::vector<uint8_t> state(blocks.size(), 0);  // 0 new, 1 open, 2 done
+  // Iterative DFS (explicit stack) producing postorder, then reversed.
+  std::vector<uint32_t> post;
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  stack.emplace_back(entry_block, 0);
+  state[entry_block] = 1;
+  while (!stack.empty()) {
+    auto& [b, i] = stack.back();
+    if (i < blocks[b].succs.size()) {
+      uint32_t s = blocks[b].succs[i++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[b] = 2;
+      post.push_back(b);
+      stack.pop_back();
+    }
+  }
+  rpo.assign(post.rbegin(), post.rend());
+}
+
+namespace {
+
+void addUnique(std::vector<const VarDecl*>& v, const VarDecl* d) {
+  if (d && std::find(v.begin(), v.end(), d) == v.end()) v.push_back(d);
+}
+
+void addVarsOf(const Expr& e, std::vector<const VarDecl*>& out) {
+  std::vector<const VarDecl*> vs;
+  collectVars(e, vs);
+  for (const VarDecl* d : vs) addUnique(out, d);
+}
+
+class CfgBuilder {
+ public:
+  explicit CfgBuilder(const ProcDecl& proc) { cfg_.proc = &proc; }
+
+  ProcCfg build() {
+    const ProcDecl& proc = *cfg_.proc;
+    uint32_t entry = addNode(CfgNodeKind::Entry, nullptr, proc.loc, kNoNode,
+                             CtrlBranch::None, nullptr);
+    for (const auto& p : proc.params) addUnique(node(entry).defs, p.get());
+    cfg_.entry_node = entry;
+    frontier_ = {entry};
+    buildBlock(*proc.body, entry, CtrlBranch::None, nullptr);
+    uint32_t exit = addNode(CfgNodeKind::Exit, nullptr, proc.loc, entry,
+                            CtrlBranch::None, nullptr);
+    cfg_.exit_node = exit;
+    for (uint32_t f : frontier_) connect(f, exit);
+    for (uint32_t r : returns_) connect(r, exit);
+    formBlocks();
+    cfg_.computeRpo();
+    return std::move(cfg_);
+  }
+
+ private:
+  CfgNode& node(uint32_t id) { return cfg_.nodes[id]; }
+
+  uint32_t addNode(CfgNodeKind kind, const Stmt* stmt, SourceLoc loc,
+                   uint32_t ctrl_parent, CtrlBranch branch,
+                   const ForStmt* loop) {
+    CfgNode n;
+    n.id = static_cast<uint32_t>(cfg_.nodes.size());
+    n.kind = kind;
+    n.stmt = stmt;
+    n.loc = loc;
+    n.ctrl_parent = ctrl_parent;
+    n.ctrl_branch = branch;
+    n.loop = loop;
+    cfg_.nodes.push_back(std::move(n));
+    succs_.emplace_back();
+    preds_.emplace_back();
+    if (stmt) cfg_.by_stmt.emplace(stmt, cfg_.nodes.back().id);
+    return cfg_.nodes.back().id;
+  }
+
+  void connect(uint32_t from, uint32_t to, bool back = false) {
+    succs_[from].push_back(to);
+    preds_[to].push_back(from);
+    if (back) node_back_.insert({from, to});
+  }
+
+  /// Append a straight-line node: all dangling exits flow into it.
+  uint32_t seqNode(CfgNodeKind kind, const Stmt* stmt, SourceLoc loc,
+                   uint32_t ctrl_parent, CtrlBranch branch,
+                   const ForStmt* loop) {
+    uint32_t n = addNode(kind, stmt, loc, ctrl_parent, branch, loop);
+    for (uint32_t f : frontier_) connect(f, n);
+    frontier_ = {n};
+    return n;
+  }
+
+  void buildBlock(const BlockStmt& block, uint32_t ctrl, CtrlBranch branch,
+                  const ForStmt* loop) {
+    // Declarations are hoisted: they allocate (zero fill) and evaluate
+    // initializers at block entry, before any statement runs.
+    for (const auto& d : block.decls) {
+      uint32_t n = seqNode(CfgNodeKind::Decl, nullptr, d->loc, ctrl, branch,
+                           loop);
+      node(n).decl = d.get();
+      addUnique(node(n).defs, d.get());
+      for (const auto& dim : d->dims) addVarsOf(*dim, node(n).uses);
+      if (d->init) addVarsOf(*d->init, node(n).uses);
+    }
+    for (const auto& st : block.stmts) buildStmt(*st, ctrl, branch, loop);
+  }
+
+  void buildStmt(const Stmt& s, uint32_t ctrl, CtrlBranch branch,
+                 const ForStmt* loop) {
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        const auto& as = static_cast<const AssignStmt&>(s);
+        uint32_t n =
+            seqNode(CfgNodeKind::Assign, &s, s.loc, ctrl, branch, loop);
+        addVarsOf(*as.value, node(n).uses);
+        if (as.target->kind == ExprKind::ArrayRef) {
+          const auto& ref = static_cast<const ArrayRefExpr&>(*as.target);
+          for (const auto& idx : ref.indices) addVarsOf(*idx, node(n).uses);
+          addUnique(node(n).defs, ref.decl);  // weak (element) definition
+        } else {
+          addUnique(node(n).defs,
+                    static_cast<const VarRefExpr&>(*as.target).decl);
+        }
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        uint32_t cond =
+            seqNode(CfgNodeKind::Branch, &s, s.loc, ctrl, branch, loop);
+        addVarsOf(*i.cond, node(cond).uses);
+        frontier_ = {cond};
+        buildBlock(*i.then_block, cond, CtrlBranch::Then, loop);
+        std::vector<uint32_t> exits = frontier_;
+        if (i.else_block) {
+          frontier_ = {cond};
+          buildBlock(*i.else_block, cond, CtrlBranch::Else, loop);
+          exits.insert(exits.end(), frontier_.begin(), frontier_.end());
+        } else {
+          exits.push_back(cond);  // fall-through when the condition fails
+        }
+        frontier_ = std::move(exits);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& fo = static_cast<const ForStmt&>(s);
+        uint32_t head =
+            seqNode(CfgNodeKind::LoopHead, &s, s.loc, ctrl, branch, loop);
+        addUnique(node(head).defs, fo.index_decl);
+        addVarsOf(*fo.lower, node(head).uses);
+        addVarsOf(*fo.upper, node(head).uses);
+        if (fo.step) addVarsOf(*fo.step, node(head).uses);
+        frontier_ = {head};
+        buildBlock(*fo.body, head, CtrlBranch::Body, &fo);
+        for (uint32_t f : frontier_) connect(f, head, /*back=*/true);
+        frontier_ = {head};  // the not-taken exit of the header
+        break;
+      }
+      case StmtKind::Call: {
+        const auto& c = static_cast<const CallStmt&>(s);
+        uint32_t n = seqNode(CfgNodeKind::Call, &s, s.loc, ctrl, branch, loop);
+        for (const auto& a : c.args) {
+          addVarsOf(*a, node(n).uses);
+          // A whole-array argument may be written by the callee (weakly).
+          if (!c.is_sink && a->kind == ExprKind::VarRef) {
+            const auto& vr = static_cast<const VarRefExpr&>(*a);
+            if (vr.decl && vr.decl->isArray()) addUnique(node(n).defs, vr.decl);
+          }
+        }
+        break;
+      }
+      case StmtKind::Return: {
+        uint32_t n =
+            seqNode(CfgNodeKind::Return, &s, s.loc, ctrl, branch, loop);
+        returns_.push_back(n);
+        frontier_.clear();  // nothing after a return is reachable
+        break;
+      }
+      case StmtKind::Block:
+        buildBlock(static_cast<const BlockStmt&>(s), ctrl, branch, loop);
+        break;
+    }
+  }
+
+  // ------------------------------------------------- block formation --
+
+  bool isLeader(uint32_t n) const {
+    if (preds_[n].size() != 1) return true;
+    uint32_t p = preds_[n][0];
+    return succs_[p].size() != 1;
+  }
+
+  void formBlocks() {
+    const size_t N = cfg_.nodes.size();
+    std::vector<uint32_t> block_of(N, ~0u);
+    for (uint32_t n = 0; n < N; ++n) {
+      if (!isLeader(n) || block_of[n] != ~0u) continue;
+      BasicBlock b;
+      b.id = static_cast<uint32_t>(cfg_.blocks.size());
+      uint32_t m = n;
+      for (;;) {
+        b.nodes.push_back(m);
+        block_of[m] = b.id;
+        cfg_.nodes[m].block = b.id;
+        if (succs_[m].size() != 1) break;
+        uint32_t t = succs_[m][0];
+        if (isLeader(t) || block_of[t] != ~0u) break;
+        m = t;
+      }
+      cfg_.blocks.push_back(std::move(b));
+    }
+    // Any node not yet placed (unreachable chains whose leader test never
+    // fired) gets a singleton block so exports still see it.
+    for (uint32_t n = 0; n < N; ++n) {
+      if (block_of[n] != ~0u) continue;
+      BasicBlock b;
+      b.id = static_cast<uint32_t>(cfg_.blocks.size());
+      b.nodes.push_back(n);
+      block_of[n] = b.id;
+      cfg_.nodes[n].block = b.id;
+      cfg_.blocks.push_back(std::move(b));
+    }
+    // Block-level edges from the last node of each block.
+    std::set<std::pair<uint32_t, uint32_t>> seen;
+    for (auto& b : cfg_.blocks) {
+      uint32_t last = b.nodes.back();
+      for (uint32_t t : succs_[last]) {
+        uint32_t tb = block_of[t];
+        if (!seen.insert({b.id, tb}).second) continue;
+        b.succs.push_back(tb);
+        cfg_.blocks[tb].preds.push_back(b.id);
+        if (node_back_.count({last, t})) cfg_.back_edges.emplace_back(b.id, tb);
+      }
+    }
+    cfg_.entry_block = block_of[cfg_.entry_node];
+    cfg_.exit_block = block_of[cfg_.exit_node];
+  }
+
+  ProcCfg cfg_;
+  std::vector<std::vector<uint32_t>> succs_;
+  std::vector<std::vector<uint32_t>> preds_;
+  std::set<std::pair<uint32_t, uint32_t>> node_back_;
+  std::vector<uint32_t> frontier_;
+  std::vector<uint32_t> returns_;
+};
+
+}  // namespace
+
+ProcCfg buildCfg(const Program& /*program*/, const ProcDecl& proc) {
+  return CfgBuilder(proc).build();
+}
+
+}  // namespace padfa

@@ -1,0 +1,106 @@
+// Statement-level control-flow graph of one MF procedure.
+//
+// MF is fully structured (if/for/block, no goto), so the AST already
+// determines control flow; this module materializes it as an explicit
+// graph of atomic nodes grouped into basic blocks, because the fixpoint
+// data-flow engine (dataflow.h) and its clients (reaching definitions,
+// liveness) want a graph, not a tree.
+//
+// Nodes are "program points": one per declaration (MF hoists
+// declarations to block entry and zero-fills, so a declaration *is* a
+// definition), assignment, call, return, if-condition and for-header.
+// A for-header node re-evaluates bounds and defines the index variable
+// on every iteration; the back edge from the body's exits to the header
+// is recorded in `back_edges` so analyses can distinguish
+// iteration-crossing paths from straight-line ones.
+//
+// Determinism: node ids are assigned in AST pre-order, so every id (and
+// everything derived from it, including PDG exports) is stable across
+// runs and independent of pointer values.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace padfa {
+
+enum class CfgNodeKind : uint8_t {
+  Entry,     // procedure entry (defines parameters)
+  Exit,      // procedure exit
+  Decl,      // hoisted declaration (zero fill / initializer)
+  Assign,    // assignment statement
+  Branch,    // if-condition evaluation
+  LoopHead,  // for-header: bounds evaluation + index definition
+  Call,      // procedure call (or sink)
+  Return,    // return statement
+};
+
+std::string_view cfgNodeKindName(CfgNodeKind k);
+
+/// Which branch of the control parent a node hangs off.
+enum class CtrlBranch : uint8_t { None, Then, Else, Body };
+
+inline constexpr uint32_t kNoNode = ~0u;
+
+struct CfgNode {
+  uint32_t id = 0;
+  CfgNodeKind kind = CfgNodeKind::Entry;
+  const Stmt* stmt = nullptr;     // null for Entry/Exit/Decl
+  const VarDecl* decl = nullptr;  // Decl nodes only
+  SourceLoc loc;
+  /// Variables defined / used at this point. Array writes are *weak*
+  /// definitions (they never kill). Order: first occurrence, deduped.
+  std::vector<const VarDecl*> defs;
+  std::vector<const VarDecl*> uses;
+  /// Innermost enclosing loop statement (of this procedure), if any.
+  const ForStmt* loop = nullptr;
+  /// Control parent: the Branch/LoopHead node that decides whether this
+  /// node executes, or the Entry node for top-level statements.
+  uint32_t ctrl_parent = kNoNode;
+  CtrlBranch ctrl_branch = CtrlBranch::None;
+  /// Owning basic block (filled by block formation).
+  uint32_t block = 0;
+};
+
+struct BasicBlock {
+  uint32_t id = 0;
+  std::vector<uint32_t> nodes;  // CfgNode ids, execution order
+  std::vector<uint32_t> succs;
+  std::vector<uint32_t> preds;
+};
+
+/// CFG of one procedure.
+struct ProcCfg {
+  const ProcDecl* proc = nullptr;
+  std::vector<CfgNode> nodes;
+  std::vector<BasicBlock> blocks;
+  uint32_t entry_node = 0;
+  uint32_t exit_node = 0;
+  uint32_t entry_block = 0;
+  uint32_t exit_block = 0;
+  /// Loop back edges at block granularity (from-block, to-block).
+  std::vector<std::pair<uint32_t, uint32_t>> back_edges;
+  /// Blocks in reverse post-order from the entry (forward analyses
+  /// iterate this; backward analyses iterate it reversed).
+  std::vector<uint32_t> rpo;
+
+  const CfgNode* nodeFor(const Stmt* s) const {
+    auto it = by_stmt.find(s);
+    return it == by_stmt.end() ? nullptr : &nodes[it->second];
+  }
+  bool isBackEdge(uint32_t from, uint32_t to) const;
+
+  std::map<const Stmt*, uint32_t> by_stmt;
+
+  /// Recompute rpo from blocks/succs (exposed for hand-built test CFGs).
+  void computeRpo();
+};
+
+/// Build the CFG of `proc`. Sema must have run (decl cross-references).
+ProcCfg buildCfg(const Program& program, const ProcDecl& proc);
+
+}  // namespace padfa

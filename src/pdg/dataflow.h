@@ -1,0 +1,159 @@
+// Generic basic-block fixpoint data-flow engine (monotone framework).
+//
+// Modeled on the classic worklist-free iterate-to-fixpoint engines (cf.
+// dg's BBlockDataFlowAnalysis): blocks are visited in reverse post-order
+// (forward problems) or reverse RPO (backward problems), repeatedly,
+// until one full sweep changes nothing. For reducible structured CFGs —
+// which is all MF can produce — this converges in loop-nest-depth + 1
+// sweeps.
+//
+// The Domain policy supplies the lattice and transfer:
+//
+//   struct Domain {
+//     using Fact = ...;                       // lattice element
+//     static constexpr bool kForward = ...;   // direction
+//     Fact boundary() const;     // fact at entry (fwd) / exit (bwd)
+//     Fact initial() const;      // optimistic initial fact for others
+//     bool merge(Fact& into, const Fact& from) const;  // confluence; true
+//                                                      // iff `into` grew
+//     Fact transfer(const BasicBlock&, Fact in) const; // whole-block
+//   };
+//
+// The engine can be asked to ignore a set of CFG edges at merge points
+// (`skip_edges`, block-id pairs). Passing one loop's back edges computes
+// the solution "as if loop L did not iterate": a definition that reaches
+// a use in the full solution but not in the L-skipping one is carried by
+// L specifically — the per-loop classification the PDG builder needs
+// (ignoring ALL back edges at once cannot attribute a dependence to the
+// right loop in a nest).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "pdg/cfg.h"
+
+namespace padfa {
+
+struct DataflowStats {
+  size_t blocks = 0;
+  size_t sweeps = 0;      // full passes over the block order
+  size_t transfers = 0;   // runOnBlock applications
+};
+
+/// CFG edges (block-id pairs) an analysis run should pretend don't exist.
+using EdgeSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+/// All loop back edges — skipping them yields the acyclic solution.
+EdgeSet allBackEdges(const ProcCfg& cfg);
+/// Back edges of one specific loop (those targeting its header block).
+EdgeSet backEdgesOf(const ProcCfg& cfg, const ForStmt* loop);
+
+template <typename Domain>
+class BlockDataflow {
+ public:
+  using Fact = typename Domain::Fact;
+
+  BlockDataflow(const ProcCfg& cfg, Domain domain, EdgeSet skip_edges = {})
+      : cfg_(cfg), domain_(std::move(domain)),
+        skip_(std::move(skip_edges)) {}
+
+  void run() {
+    const size_t nblocks = cfg_.blocks.size();
+    in_.assign(nblocks, domain_.initial());
+    out_.assign(nblocks, domain_.initial());
+    stats_ = {};
+    stats_.blocks = nblocks;
+
+    // Visit order: RPO for forward problems, reverse RPO for backward.
+    std::vector<uint32_t> order = cfg_.rpo;
+    if (!Domain::kForward) std::reverse(order.begin(), order.end());
+
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++stats_.sweeps;
+      for (uint32_t b : order) {
+        Fact fact = boundaryOrMeet(b);
+        (Domain::kForward ? in_ : out_)[b] = fact;
+        Fact res = domain_.transfer(cfg_.blocks[b], std::move(fact));
+        ++stats_.transfers;
+        Fact& slot = (Domain::kForward ? out_ : in_)[b];
+        if (!(res == slot)) {
+          slot = std::move(res);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  /// Fact at block entry (forward: meet over preds; backward: result).
+  const Fact& inOf(uint32_t block) const { return in_[block]; }
+  /// Fact at block exit (forward: result; backward: meet over succs).
+  const Fact& outOf(uint32_t block) const { return out_[block]; }
+
+  const DataflowStats& stats() const { return stats_; }
+  const Domain& domain() const { return domain_; }
+
+ private:
+  Fact boundaryOrMeet(uint32_t b) {
+    if (Domain::kForward) {
+      if (b == cfg_.entry_block) return domain_.boundary();
+      Fact fact = domain_.initial();
+      for (uint32_t p : cfg_.blocks[b].preds) {
+        if (skip_.count({p, b})) continue;
+        domain_.merge(fact, out_[p]);
+      }
+      return fact;
+    }
+    if (b == cfg_.exit_block) return domain_.boundary();
+    Fact fact = domain_.initial();
+    for (uint32_t s : cfg_.blocks[b].succs) {
+      if (skip_.count({b, s})) continue;
+      domain_.merge(fact, in_[s]);
+    }
+    return fact;
+  }
+
+  const ProcCfg& cfg_;
+  Domain domain_;
+  EdgeSet skip_;
+  std::vector<Fact> in_, out_;
+  DataflowStats stats_;
+};
+
+/// A dense bitset fact — the lattice element both shipped clients use.
+class BitFact {
+ public:
+  BitFact() = default;
+  explicit BitFact(size_t nbits) : words_((nbits + 63) / 64, 0) {}
+
+  void set(size_t i) { words_[i / 64] |= uint64_t(1) << (i % 64); }
+  void clear(size_t i) { words_[i / 64] &= ~(uint64_t(1) << (i % 64)); }
+  bool test(size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+  /// Union; returns true iff this grew.
+  bool unionWith(const BitFact& o) {
+    bool grew = false;
+    for (size_t w = 0; w < words_.size() && w < o.words_.size(); ++w) {
+      uint64_t nv = words_[w] | o.words_[w];
+      grew |= nv != words_[w];
+      words_[w] = nv;
+    }
+    return grew;
+  }
+  void subtract(const BitFact& o) {
+    for (size_t w = 0; w < words_.size() && w < o.words_.size(); ++w)
+      words_[w] &= ~o.words_[w];
+  }
+  bool operator==(const BitFact&) const = default;
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace padfa

@@ -1,0 +1,193 @@
+// Deterministic DOT and JSON renderings of the program dependence graph.
+//
+// Node uids are "<proc>:<node-id>" with node ids in AST pre-order, and
+// variables are identified by Sema's program-wide uids — no pointers, no
+// hashes, so byte-identical output across runs is the contract (and the
+// golden tests hold it).
+#include <sstream>
+
+#include "pdg/pdg.h"
+
+namespace padfa {
+
+namespace {
+
+std::string escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string clip(std::string s, size_t limit = 48) {
+  if (s.size() > limit) {
+    s.resize(limit - 3);
+    s += "...";
+  }
+  return s;
+}
+
+std::string uidOf(const ProcPdg& p, uint32_t node,
+                  const Program& program) {
+  return std::string(program.interner.str(p.proc->name)) + ":" +
+         std::to_string(node);
+}
+
+std::string_view branchName(CtrlBranch b) {
+  switch (b) {
+    case CtrlBranch::None: return "";
+    case CtrlBranch::Then: return "then";
+    case CtrlBranch::Else: return "else";
+    case CtrlBranch::Body: return "body";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string pdgNodeLabel(const CfgNode& n, const Program& program) {
+  const Interner& in = program.interner;
+  switch (n.kind) {
+    case CfgNodeKind::Entry: return "entry";
+    case CfgNodeKind::Exit: return "exit";
+    case CfgNodeKind::Decl: {
+      std::string s = "decl ";
+      s += n.decl ? std::string(in.str(n.decl->name)) : "?";
+      if (n.decl && n.decl->isArray())
+        s += "[" + std::to_string(n.decl->rank()) + "d]";
+      return s;
+    }
+    case CfgNodeKind::Assign: {
+      const auto& as = static_cast<const AssignStmt&>(*n.stmt);
+      return clip(exprToString(*as.target, in) + " = " +
+                  exprToString(*as.value, in));
+    }
+    case CfgNodeKind::Branch: {
+      const auto& i = static_cast<const IfStmt&>(*n.stmt);
+      return clip("if " + exprToString(*i.cond, in));
+    }
+    case CfgNodeKind::LoopHead: {
+      const auto& f = static_cast<const ForStmt&>(*n.stmt);
+      return "for " + f.loop_id;
+    }
+    case CfgNodeKind::Call: {
+      const auto& c = static_cast<const CallStmt&>(*n.stmt);
+      return "call " + std::string(in.str(c.callee));
+    }
+    case CfgNodeKind::Return: return "return";
+  }
+  return "?";
+}
+
+std::string pdgToDot(const ProgramPdg& pdg, const Program& program) {
+  std::ostringstream os;
+  os << "digraph pdg {\n"
+     << "  rankdir=TB;\n"
+     << "  node [shape=box, fontsize=10];\n";
+  size_t cluster = 0;
+  for (const ProcPdg& p : pdg.procs) {
+    std::string pname(program.interner.str(p.proc->name));
+    os << "  subgraph cluster_" << cluster++ << " {\n"
+       << "    label=\"" << escaped(pname) << "\";\n";
+    for (const CfgNode& n : p.cfg.nodes) {
+      os << "    \"" << escaped(uidOf(p, n.id, program)) << "\" [label=\""
+         << escaped(pdgNodeLabel(n, program));
+      if (n.loc.valid()) os << "\\n@" << n.loc.line;
+      os << "\"];\n";
+    }
+    for (const PdgEdge& e : p.edges) {
+      os << "    \"" << escaped(uidOf(p, e.src, program)) << "\" -> \""
+         << escaped(uidOf(p, e.dst, program)) << "\" [";
+      if (e.kind == PdgEdgeKind::Control) {
+        os << "style=dashed, color=gray40";
+        if (e.branch != CtrlBranch::None)
+          os << ", label=\"" << branchName(e.branch) << "\"";
+      } else {
+        std::string label(pdgEdgeKindName(e.kind));
+        if (e.var)
+          label += " " + std::string(program.interner.str(e.var->name));
+        if (e.carried) {
+          label += e.distance ? (" d=" + std::to_string(*e.distance))
+                              : " d=+";
+        }
+        if (e.approx) label += " ?";
+        os << "label=\"" << escaped(label) << "\"";
+        if (e.kind == PdgEdgeKind::Anti) os << ", style=dotted";
+        if (e.kind == PdgEdgeKind::Output) os << ", color=gray25";
+        if (e.carried) os << ", penwidth=2, color=red3";
+      }
+      os << "];\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string pdgToJson(const ProgramPdg& pdg, const Program& program) {
+  std::ostringstream os;
+  os << "{\n  \"procs\": [\n";
+  for (size_t pi = 0; pi < pdg.procs.size(); ++pi) {
+    const ProcPdg& p = pdg.procs[pi];
+    os << "    {\n      \"name\": \""
+       << escaped(program.interner.str(p.proc->name)) << "\",\n"
+       << "      \"nodes\": [\n";
+    for (size_t ni = 0; ni < p.cfg.nodes.size(); ++ni) {
+      const CfgNode& n = p.cfg.nodes[ni];
+      os << "        {\"uid\": \"" << escaped(uidOf(p, n.id, program))
+         << "\", \"kind\": \"" << cfgNodeKindName(n.kind) << "\", \"line\": "
+         << n.loc.line << ", \"label\": \""
+         << escaped(pdgNodeLabel(n, program)) << "\"}"
+         << (ni + 1 < p.cfg.nodes.size() ? "," : "") << "\n";
+    }
+    os << "      ],\n      \"edges\": [\n";
+    for (size_t ei = 0; ei < p.edges.size(); ++ei) {
+      const PdgEdge& e = p.edges[ei];
+      os << "        {\"src\": \"" << escaped(uidOf(p, e.src, program))
+         << "\", \"dst\": \"" << escaped(uidOf(p, e.dst, program))
+         << "\", \"kind\": \"" << pdgEdgeKindName(e.kind) << "\"";
+      if (e.kind == PdgEdgeKind::Control) {
+        if (e.branch != CtrlBranch::None)
+          os << ", \"branch\": \"" << branchName(e.branch) << "\"";
+      } else {
+        if (e.var)
+          os << ", \"var\": \""
+             << escaped(program.interner.str(e.var->name))
+             << "\", \"var_uid\": " << e.var->uid;
+        os << ", \"carried\": " << (e.carried ? "true" : "false");
+        if (e.carrier)
+          os << ", \"carrier\": \"" << escaped(e.carrier->loop_id) << "\"";
+        if (e.distance) os << ", \"distance\": " << *e.distance;
+        os << ", \"exact\": " << (e.exact ? "true" : "false")
+           << ", \"approx\": " << (e.approx ? "true" : "false");
+      }
+      os << "}" << (ei + 1 < p.edges.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n    }" << (pi + 1 < pdg.procs.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"stats\": {\"nodes\": " << pdg.stats.nodes
+     << ", \"control\": " << pdg.stats.control
+     << ", \"flow\": " << pdg.stats.flow << ", \"anti\": " << pdg.stats.anti
+     << ", \"output\": " << pdg.stats.output
+     << ", \"carried\": " << pdg.stats.carried
+     << ", \"pairs_tested\": " << pdg.stats.conflict_pairs_tested
+     << ", \"dataflow_sweeps\": " << pdg.stats.dataflow_sweeps << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace padfa

@@ -1,0 +1,105 @@
+#include "pdg/reaching.h"
+
+namespace padfa {
+
+EdgeSet allBackEdges(const ProcCfg& cfg) {
+  return EdgeSet(cfg.back_edges.begin(), cfg.back_edges.end());
+}
+
+EdgeSet backEdgesOf(const ProcCfg& cfg, const ForStmt* loop) {
+  EdgeSet out;
+  for (const auto& [from, to] : cfg.back_edges) {
+    // A back edge belongs to the loop whose header leads the target
+    // block (the header has multiple preds, so it is always a leader).
+    const CfgNode& head = cfg.nodes[cfg.blocks[to].nodes.front()];
+    if (head.kind == CfgNodeKind::LoopHead && head.stmt == loop)
+      out.insert({from, to});
+  }
+  return out;
+}
+
+// ------------------------------------------------- reaching definitions --
+
+ReachingDefs::ReachingDefs(const ProcCfg& cfg, EdgeSet skip_edges)
+    : cfg_(cfg), skip_(std::move(skip_edges)) {
+  defs_at_.resize(cfg.nodes.size());
+  kills_at_.resize(cfg.nodes.size());
+  // Number all definition points in node order (deterministic).
+  for (const CfgNode& n : cfg.nodes) {
+    for (const VarDecl* d : n.defs) {
+      defs_at_[n.id].push_back(static_cast<uint32_t>(def_node_.size()));
+      def_node_.push_back(n.id);
+      def_var_.push_back(d);
+    }
+  }
+  // Strong kills: a scalar definition kills every definition of the same
+  // scalar; array (element) definitions are weak and kill nothing.
+  for (const CfgNode& n : cfg.nodes) {
+    for (size_t i = 0; i < n.defs.size(); ++i) {
+      const VarDecl* d = n.defs[i];
+      if (d->isArray()) continue;
+      for (uint32_t def = 0; def < def_node_.size(); ++def)
+        if (def_var_[def] == d) kills_at_[n.id].push_back(def);
+    }
+  }
+}
+
+void ReachingDefs::applyNode(uint32_t node, BitFact& fact) const {
+  for (uint32_t def : kills_at_[node]) fact.clear(def);
+  for (uint32_t def : defs_at_[node]) fact.set(def);
+}
+
+void ReachingDefs::run() {
+  Domain dom;
+  dom.rd = this;
+  BlockDataflow<Domain> engine(cfg_, dom, skip_);
+  engine.run();
+  stats_ = engine.stats();
+  // Per-node IN facts: walk each block once from its entry fact.
+  node_in_.assign(cfg_.nodes.size(), BitFact(numDefs()));
+  for (const BasicBlock& b : cfg_.blocks) {
+    BitFact fact = engine.inOf(b.id);
+    for (uint32_t n : b.nodes) {
+      node_in_[n] = fact;
+      applyNode(n, fact);
+    }
+  }
+}
+
+// ------------------------------------------------------------ liveness --
+
+Liveness::Liveness(const ProcCfg& cfg)
+    : cfg_(cfg), nvars_(cfg.proc ? cfg.proc->all_vars.size() : 0) {}
+
+void Liveness::applyNode(uint32_t node, BitFact& fact) const {
+  const CfgNode& n = cfg_.nodes[node];
+  // Backward: out -> in = use ∪ (out − strong defs).
+  for (const VarDecl* d : n.defs)
+    if (!d->isArray() && bitOf(d) < nvars_) fact.clear(bitOf(d));
+  for (const VarDecl* d : n.uses)
+    if (bitOf(d) < nvars_) fact.set(bitOf(d));
+}
+
+void Liveness::run() {
+  Domain dom;
+  dom.lv = this;
+  BlockDataflow<Domain> engine(cfg_, dom);
+  engine.run();
+  stats_ = engine.stats();
+  // Per-node OUT facts: walk each block backwards from its exit fact.
+  node_out_.assign(cfg_.nodes.size(), BitFact(nvars_));
+  for (const BasicBlock& b : cfg_.blocks) {
+    BitFact fact = engine.outOf(b.id);
+    for (auto it = b.nodes.rbegin(); it != b.nodes.rend(); ++it) {
+      node_out_[*it] = fact;
+      applyNode(*it, fact);
+    }
+  }
+}
+
+bool Liveness::liveOut(uint32_t node, const VarDecl* var) const {
+  if (!var || bitOf(var) >= nvars_) return true;  // foreign decl: assume live
+  return node_out_[node].test(bitOf(var));
+}
+
+}  // namespace padfa

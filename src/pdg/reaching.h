@@ -1,0 +1,117 @@
+// Data-flow clients over the shared CFG + engine: reaching definitions
+// (forward, may) and live variables (backward, may).
+//
+// Reaching definitions number every definition point (node, variable):
+// scalar definitions are strong (they kill every other definition of the
+// same scalar), array definitions are weak (an element store never kills
+// the rest of the array — classic array may-def treatment). The PDG
+// builder turns def->use reachability into flow edges; running the same
+// problem with loop back edges ignored yields the acyclic solution used
+// to classify edges as loop-carried vs loop-independent.
+//
+// Liveness drives the sharpened padfa-dead-store lint checker: a scalar
+// store whose target is not live-out of its node is dead on every path,
+// including stores that earlier whole-program reference counting missed
+// because the variable is read somewhere else entirely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pdg/dataflow.h"
+
+namespace padfa {
+
+class ReachingDefs {
+ public:
+  /// `skip_edges` names CFG edges the solution pretends don't exist:
+  /// allBackEdges(cfg) gives the acyclic solution, backEdgesOf(cfg, L)
+  /// the "loop L does not iterate" solution used to attribute carried
+  /// dependences to L specifically.
+  explicit ReachingDefs(const ProcCfg& cfg, EdgeSet skip_edges = {});
+
+  void run();
+
+  size_t numDefs() const { return def_node_.size(); }
+  uint32_t defNode(size_t def) const { return def_node_[def]; }
+  const VarDecl* defVar(size_t def) const { return def_var_[def]; }
+  /// Definition ids generated at `node`.
+  const std::vector<uint32_t>& defsAt(uint32_t node) const {
+    return defs_at_[node];
+  }
+  /// Definitions reaching the *entry* of `node` (valid after run()).
+  const BitFact& reachingIn(uint32_t node) const { return node_in_[node]; }
+
+  const DataflowStats& stats() const { return stats_; }
+
+  // Domain policy for BlockDataflow (public for the engine).
+  struct Domain {
+    using Fact = BitFact;
+    static constexpr bool kForward = true;
+    const ReachingDefs* rd = nullptr;
+    Fact boundary() const { return Fact(rd->numDefs()); }
+    Fact initial() const { return Fact(rd->numDefs()); }
+    bool merge(Fact& into, const Fact& from) const {
+      return into.unionWith(from);
+    }
+    Fact transfer(const BasicBlock& b, Fact in) const {
+      for (uint32_t n : b.nodes) rd->applyNode(n, in);
+      return in;
+    }
+  };
+
+ private:
+  friend struct Domain;
+  void applyNode(uint32_t node, BitFact& fact) const;
+
+  const ProcCfg& cfg_;
+  EdgeSet skip_;
+  std::vector<uint32_t> def_node_;
+  std::vector<const VarDecl*> def_var_;
+  std::vector<std::vector<uint32_t>> defs_at_;     // per node
+  std::vector<std::vector<uint32_t>> kills_at_;    // per node (strong only)
+  std::vector<BitFact> node_in_;
+  DataflowStats stats_;
+};
+
+class Liveness {
+ public:
+  explicit Liveness(const ProcCfg& cfg);
+
+  void run();
+
+  /// Is `var` live out of `node` (some path from here reads it before any
+  /// strong redefinition)? Array element writes never kill, so arrays
+  /// stay live until their last read.
+  bool liveOut(uint32_t node, const VarDecl* var) const;
+
+  const DataflowStats& stats() const { return stats_; }
+
+  struct Domain {
+    using Fact = BitFact;
+    static constexpr bool kForward = false;
+    const Liveness* lv = nullptr;
+    Fact boundary() const { return Fact(lv->nvars_); }
+    Fact initial() const { return Fact(lv->nvars_); }
+    bool merge(Fact& into, const Fact& from) const {
+      return into.unionWith(from);
+    }
+    Fact transfer(const BasicBlock& b, Fact out) const {
+      for (auto it = b.nodes.rbegin(); it != b.nodes.rend(); ++it)
+        lv->applyNode(*it, out);
+      return out;
+    }
+  };
+
+ private:
+  friend struct Domain;
+  void applyNode(uint32_t node, BitFact& fact) const;
+  size_t bitOf(const VarDecl* d) const { return d->local_id; }
+
+  const ProcCfg& cfg_;
+  size_t nvars_ = 0;
+  std::vector<BitFact> node_out_;
+  DataflowStats stats_;
+};
+
+}  // namespace padfa

@@ -1,0 +1,128 @@
+#include "pdg/slice.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace padfa {
+
+bool parseSliceCriterion(const std::string& spec, SliceCriterion& out,
+                         std::string& err) {
+  auto colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    err = "malformed slice criterion '" + spec +
+          "' (expected <line>:<var>, e.g. 12:sum)";
+    return false;
+  }
+  std::string line_part = spec.substr(0, colon);
+  for (char c : line_part) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      err = "malformed slice criterion '" + spec +
+            "': line number '" + line_part + "' is not a positive integer";
+      return false;
+    }
+  }
+  out.line = static_cast<uint32_t>(std::stoul(line_part));
+  out.var = spec.substr(colon + 1);
+  if (out.line == 0) {
+    err = "malformed slice criterion '" + spec + "': lines are 1-based";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool refsVar(const std::vector<const VarDecl*>& vars, const Program& program,
+             const std::string& name) {
+  for (const VarDecl* d : vars)
+    if (program.interner.str(d->name) == name) return true;
+  return false;
+}
+
+const VarDecl* findVar(const std::vector<const VarDecl*>& vars,
+                       const Program& program, const std::string& name) {
+  for (const VarDecl* d : vars)
+    if (program.interner.str(d->name) == name) return d;
+  return nullptr;
+}
+
+}  // namespace
+
+bool computeSlice(const ProgramPdg& pdg, const Program& program,
+                  const SliceCriterion& criterion, SliceResult& out,
+                  std::string& err) {
+  // Resolve the criterion: the first node on that line referencing the
+  // variable (definitions preferred over uses, then lowest node id —
+  // deterministic).
+  const ProcPdg* proc = nullptr;
+  const CfgNode* node = nullptr;
+  const VarDecl* var = nullptr;
+  for (const ProcPdg& p : pdg.procs) {
+    for (const CfgNode& n : p.cfg.nodes) {
+      if (n.loc.line != criterion.line) continue;
+      if (const VarDecl* d = findVar(n.defs, program, criterion.var)) {
+        proc = &p;
+        node = &n;
+        var = d;
+        break;
+      }
+      if (!node) {
+        if (const VarDecl* d = findVar(n.uses, program, criterion.var)) {
+          proc = &p;
+          node = &n;
+          var = d;
+        }
+      }
+    }
+    if (node && refsVar(node->defs, program, criterion.var)) break;
+  }
+  if (!node) {
+    err = "no statement at line " + std::to_string(criterion.line) +
+          " references '" + criterion.var + "'";
+    return false;
+  }
+
+  // Reverse adjacency over flow + control edges of the criterion's
+  // procedure. The first hop out of the criterion node is restricted to
+  // the criterion variable when it is only used there.
+  const bool var_defined_here =
+      std::find(node->defs.begin(), node->defs.end(), var) !=
+      node->defs.end();
+  std::vector<std::vector<uint32_t>> rev(proc->cfg.nodes.size());
+  for (const PdgEdge& e : proc->edges) {
+    if (e.kind != PdgEdgeKind::Flow && e.kind != PdgEdgeKind::Control)
+      continue;
+    if (e.dst == node->id && e.kind == PdgEdgeKind::Flow &&
+        !var_defined_here && e.var != var)
+      continue;
+    rev[e.dst].push_back(e.src);
+  }
+
+  std::set<uint32_t> visited;
+  std::vector<uint32_t> work{node->id};
+  visited.insert(node->id);
+  while (!work.empty()) {
+    uint32_t n = work.back();
+    work.pop_back();
+    for (uint32_t p : rev[n])
+      if (visited.insert(p).second) work.push_back(p);
+  }
+
+  out.proc = proc;
+  out.criterion_node = node->id;
+  out.var = var;
+  out.nodes.assign(visited.begin(), visited.end());
+  std::set<uint32_t> lines;
+  for (uint32_t n : out.nodes) {
+    const CfgNode& cn = proc->cfg.nodes[n];
+    if (cn.kind == CfgNodeKind::Entry || cn.kind == CfgNodeKind::Exit)
+      continue;
+    if (cn.loc.valid()) lines.insert(cn.loc.line);
+  }
+  out.lines.assign(lines.begin(), lines.end());
+  return true;
+}
+
+}  // namespace padfa

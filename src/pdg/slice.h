@@ -1,0 +1,52 @@
+// Backward program slicing over the PDG.
+//
+// A slice criterion is (line, variable): the statement at that source
+// line that references the variable. The slice is the set of PDG nodes
+// the criterion transitively depends on through flow and control edges —
+// the statements that can affect the value of `var` observed there
+// (Weiser's classic backward slice, computed on the dependence graph).
+//
+// Precision notes: when the criterion variable is merely *used* at the
+// criterion node, only that variable's incoming flow edges seed the
+// walk (the other operands of the statement are irrelevant to the
+// criterion); when it is *defined* there, all incoming flow edges seed
+// it. Array flow edges are subscript-blind may-deps, so array slices
+// are conservative (never too small). Slices are intra-procedural;
+// calls appear as opaque nodes whose argument dependences are followed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pdg/pdg.h"
+
+namespace padfa {
+
+struct SliceCriterion {
+  uint32_t line = 0;
+  std::string var;
+};
+
+/// Parse "<line>:<var>" (e.g. "12:sum"). Returns false and fills `err`
+/// on malformed input.
+bool parseSliceCriterion(const std::string& spec, SliceCriterion& out,
+                         std::string& err);
+
+struct SliceResult {
+  const ProcPdg* proc = nullptr;   // procedure containing the criterion
+  uint32_t criterion_node = 0;
+  const VarDecl* var = nullptr;
+  /// Sliced nodes (including the criterion), ascending node id.
+  std::vector<uint32_t> nodes;
+  /// Distinct source lines of the sliced statements, ascending.
+  std::vector<uint32_t> lines;
+};
+
+/// Compute the backward slice. Returns false and fills `err` when no
+/// statement at `criterion.line` references `criterion.var`.
+bool computeSlice(const ProgramPdg& pdg, const Program& program,
+                  const SliceCriterion& criterion, SliceResult& out,
+                  std::string& err);
+
+}  // namespace padfa

@@ -1,0 +1,138 @@
+// PDG export goldens and the corpus-wide three-way agreement sweep.
+//
+// Goldens: tests/pdg_golden/<name>.{dot,json} hold the exact `mfc deps`
+// output for a handful of corpus programs. The exports are keyed by
+// AST-pre-order node ids and sorted edge keys, so they must be
+// byte-identical run over run and build over build; any drift (a new
+// edge, a reordered map, a changed label) fails here first, with a
+// diff-able artifact.
+//
+// Agreement: for EVERY corpus program and BOTH analyses (base, pred),
+// PDG-based plan certification must land on the same verdict rank as
+// the independent PlanAuditor — zero disagreements, zero Disagree
+// verdicts — and the dynamic race oracle must concur (violations iff
+// certification found a statically contradicted plan). This is the
+// third verification leg promised in DESIGN.md §11.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "audit/plan_audit.h"
+#include "audit/race_oracle.h"
+#include "corpus/corpus.h"
+#include "driver/padfa.h"
+#include "pdg/certify.h"
+#include "pdg/pdg.h"
+
+#ifndef PDG_GOLDEN_DIR
+#error "PDG_GOLDEN_DIR must point at the golden DOT/JSON exports"
+#endif
+
+namespace padfa {
+namespace {
+
+CompiledProgram compileEntry(const CorpusEntry& e) {
+  DiagEngine diags;
+  auto cp = compileSource(instantiate(e), diags);
+  EXPECT_TRUE(cp) << e.name << ":\n" << diags.dump();
+  return std::move(*cp);
+}
+
+std::string readFile(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  EXPECT_TRUE(in) << "missing golden " << p;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The golden set: one small program per dependence flavor — a doall
+// with privatization (tomcatv), a carried-recurrence mix (spec77), and
+// a runtime-test program (ocean).
+const char* kGoldenPrograms[] = {"tomcatv", "spec77", "ocean"};
+
+class PdgGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PdgGolden, DotAndJsonMatchGoldens) {
+  const CorpusEntry* e = corpusEntry(GetParam());
+  ASSERT_NE(e, nullptr);
+  CompiledProgram cp = compileEntry(*e);
+  ProgramPdg pdg = buildPdg(*cp.program, cp.loops);
+
+  const auto dir = std::filesystem::path(PDG_GOLDEN_DIR);
+  EXPECT_EQ(pdgToDot(pdg, *cp.program),
+            readFile(dir / (std::string(e->name) + ".dot")))
+      << "regenerate with: mfc deps corpus:" << e->name;
+  EXPECT_EQ(pdgToJson(pdg, *cp.program),
+            readFile(dir / (std::string(e->name) + ".json")))
+      << "regenerate with: mfc deps corpus:" << e->name << " --json";
+}
+
+TEST_P(PdgGolden, ExportsAreDeterministic) {
+  const CorpusEntry* e = corpusEntry(GetParam());
+  ASSERT_NE(e, nullptr);
+  CompiledProgram a = compileEntry(*e);
+  CompiledProgram b = compileEntry(*e);
+  ProgramPdg pa = buildPdg(*a.program, a.loops);
+  ProgramPdg pb = buildPdg(*b.program, b.loops);
+  EXPECT_EQ(pdgToDot(pa, *a.program), pdgToDot(pb, *b.program));
+  EXPECT_EQ(pdgToJson(pa, *a.program), pdgToJson(pb, *b.program));
+}
+
+INSTANTIATE_TEST_SUITE_P(GoldenSet, PdgGolden,
+                         ::testing::ValuesIn(kGoldenPrograms),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// ------------------------------------------- three-way agreement sweep --
+
+class CorpusAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusAgreement, CertifyAuditOracleAgree) {
+  const CorpusEntry& e = corpus()[static_cast<size_t>(GetParam())];
+  CompiledProgram cp = compileEntry(e);
+  ProgramPdg pdg = buildPdg(*cp.program, cp.loops);
+
+  bool pred_disagree = false;
+  for (const AnalysisResult* ar : {&cp.base, &cp.pred}) {
+    CertifyReport cert = certifyPlans(*cp.program, *ar, cp.loops, pdg);
+    DiagEngine quiet;
+    AuditReport audit = auditPlans(*cp.program, *ar, quiet);
+    EXPECT_TRUE(cert.clean())
+        << e.name << ": " << cert.count(CertifyVerdict::Disagree)
+        << " Disagree verdict(s)";
+    for (const std::string& d :
+         crossCheckCertification(*cp.program, cert, audit))
+      ADD_FAILURE() << e.name << " ("
+                    << (ar == &cp.base ? "base" : "pred") << "): " << d;
+    if (ar == &cp.pred)
+      pred_disagree = !cert.clean();
+  }
+
+  // Third leg: the dynamic race oracle, shadowing a sequential run of
+  // the predicated plans, must agree with static certification — no
+  // violations when certification is clean (and a violation would have
+  // to coincide with a Disagree).
+  RaceOracle oracle(*cp.program, cp.pred);
+  InterpOptions opt;
+  opt.plans = &cp.pred;
+  opt.race = &oracle;
+  execute(*cp.program, opt);
+  EXPECT_EQ(oracle.violationCount() > 0, pred_disagree)
+      << e.name << ": race oracle and PDG certification disagree ("
+      << oracle.violationCount() << " violation(s))";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, CorpusAgreement,
+                         ::testing::Range(0,
+                                          static_cast<int>(corpus().size())),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return corpus()[static_cast<size_t>(info.param)]
+                               .name;
+                         });
+
+}  // namespace
+}  // namespace padfa

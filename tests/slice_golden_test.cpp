@@ -1,0 +1,139 @@
+// Golden tests for backward slicing: each tests/slice_golden/*.mf file
+// names its criterion in a leading "//SLICE <line>:<var>" comment and
+// marks every line expected in the slice with a trailing "//S"
+// annotation. The match is exact both ways — a line in the computed
+// slice but not annotated fails, and vice versa — so both over- and
+// under-slicing regressions fail loudly.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "driver/padfa.h"
+#include "pdg/pdg.h"
+#include "pdg/slice.h"
+
+#ifndef SLICE_GOLDEN_DIR
+#error "SLICE_GOLDEN_DIR must point at the annotated MF programs"
+#endif
+
+namespace padfa {
+namespace {
+
+struct Golden {
+  std::string criterion;        // "<line>:<var>" from the //SLICE header
+  std::set<uint32_t> lines;     // lines carrying a //S marker
+};
+
+// "//S" as a standalone marker: the char after it must not be
+// alphanumeric, so the "//SLICE" header itself never counts as one.
+bool hasSliceMarker(const std::string& line) {
+  for (size_t pos = line.find("//S"); pos != std::string::npos;
+       pos = line.find("//S", pos + 1)) {
+    char next = pos + 3 < line.size() ? line[pos + 3] : ' ';
+    if (!std::isalnum(static_cast<unsigned char>(next))) return true;
+  }
+  return false;
+}
+
+Golden parseGolden(const std::string& source) {
+  Golden g;
+  std::istringstream in(source);
+  std::string line;
+  uint32_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t hdr = line.find("//SLICE ");
+    if (hdr != std::string::npos && g.criterion.empty()) {
+      std::istringstream spec(line.substr(hdr + 8));
+      spec >> g.criterion;
+      continue;
+    }
+    if (hasSliceMarker(line)) g.lines.insert(lineno);
+  }
+  return g;
+}
+
+std::vector<std::filesystem::path> goldenFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& e :
+       std::filesystem::directory_iterator(SLICE_GOLDEN_DIR)) {
+    if (e.path().extension() == ".mf") files.push_back(e.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+class SliceGolden : public ::testing::TestWithParam<int> {};
+
+TEST_P(SliceGolden, SliceMatchesAnnotations) {
+  const auto path = goldenFiles()[static_cast<size_t>(GetParam())];
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string source = ss.str();
+
+  const Golden golden = parseGolden(source);
+  ASSERT_FALSE(golden.criterion.empty()) << path << ": no //SLICE header";
+  ASSERT_FALSE(golden.lines.empty()) << path << ": no //S annotations";
+
+  DiagEngine diags;
+  auto cp = compileSource(source, diags);
+  ASSERT_TRUE(cp.has_value()) << path << ":\n" << diags.dump();
+  ProgramPdg pdg = buildPdg(*cp->program, cp->loops);
+
+  SliceCriterion crit;
+  std::string err;
+  ASSERT_TRUE(parseSliceCriterion(golden.criterion, crit, err)) << err;
+  SliceResult result;
+  ASSERT_TRUE(computeSlice(pdg, *cp->program, crit, result, err))
+      << path << ": " << err;
+
+  const std::set<uint32_t> actual(result.lines.begin(), result.lines.end());
+  for (uint32_t l : golden.lines)
+    EXPECT_TRUE(actual.count(l))
+        << path.filename() << ": line " << l
+        << " is annotated //S but missing from the slice";
+  for (uint32_t l : actual)
+    EXPECT_TRUE(golden.lines.count(l))
+        << path.filename() << ": line " << l
+        << " is in the slice but not annotated //S";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFiles, SliceGolden,
+    ::testing::Range(0, static_cast<int>(goldenFiles().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return goldenFiles()[static_cast<size_t>(info.param)].stem().string();
+    });
+
+TEST(SliceCriterionParse, AcceptsAndRejects) {
+  SliceCriterion c;
+  std::string err;
+  EXPECT_TRUE(parseSliceCriterion("12:sum", c, err));
+  EXPECT_EQ(c.line, 12u);
+  EXPECT_EQ(c.var, "sum");
+  EXPECT_FALSE(parseSliceCriterion("sum:12", c, err));
+  EXPECT_FALSE(parseSliceCriterion("12", c, err));
+  EXPECT_FALSE(parseSliceCriterion("0:x", c, err));
+  EXPECT_FALSE(parseSliceCriterion("12:", c, err));
+  EXPECT_FALSE(parseSliceCriterion("", c, err));
+}
+
+TEST(Slice, UnresolvableCriterionFails) {
+  DiagEngine diags;
+  auto cp = compileSource("proc main() { int x; x = 1; sink(x); }", diags);
+  ASSERT_TRUE(cp.has_value());
+  ProgramPdg pdg = buildPdg(*cp->program, cp->loops);
+  SliceResult result;
+  std::string err;
+  EXPECT_FALSE(computeSlice(pdg, *cp->program, {99, "x"}, result, err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(computeSlice(pdg, *cp->program, {1, "nosuch"}, result, err));
+}
+
+}  // namespace
+}  // namespace padfa
