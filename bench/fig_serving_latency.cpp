@@ -1,0 +1,264 @@
+// Experiment E8 — warm vs cold serving latency of the mfcd analysis
+// daemon, over the whole corpus (google-benchmark).
+//
+// The persistent summary store exists to turn repeat analysis requests
+// into snapshot lookups. This harness quantifies that: per-request
+// latency through the daemon's dispatch path (no socket noise) for
+//   cold        — fresh daemon, empty store: full analysis per request;
+//   warm-memory — same daemon asked again: in-memory store hit;
+//   warm-disk   — a NEW daemon that loaded the snapshot from disk: the
+//                 restart path a crash-recovered or redeployed daemon
+//                 takes (includes snapshot decode amortized over the
+//                 corpus).
+// Every response's plan signature is checked against the cold pass —
+// a warm answer that differs from cold is a correctness bug, and the
+// harness aborts rather than timing it.
+//
+// Invoke with `--json <path>` (stripped before google-benchmark sees
+// argv) for machine-readable results: per-pass total/mean/max latency,
+// warm hit counts, cold/warm speedup, and snapshot size on disk.
+#include <benchmark/benchmark.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "server/server.h"
+#include "store/summary_store.h"
+
+using namespace padfa;
+using namespace padfa::bench;
+
+namespace {
+
+using server::MfcDaemon;
+using server::ServerOptions;
+
+struct TempStore {
+  std::string dir;
+  TempStore() {
+    char tmpl[] = "/tmp/padfa-serving-bench-XXXXXX";
+    char* p = ::mkdtemp(tmpl);
+    if (!p) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      std::exit(1);
+    }
+    dir = p;
+  }
+  ~TempStore() {
+    if (dir.empty()) return;
+    std::string cmd = "rm -rf '" + dir + "'";
+    [[maybe_unused]] int rc = std::system(cmd.c_str());
+  }
+};
+
+ServerOptions benchOptions(const std::string& store_dir) {
+  ServerOptions opts;
+  opts.socket_path = store_dir + "/bench.sock";  // unused: no start()
+  opts.store_dir = store_dir;
+  opts.install_signal_handlers = false;
+  opts.flush_every = 1u << 30;  // flush manually, outside timed regions
+  return opts;
+}
+
+std::vector<std::string> requestLines() {
+  std::vector<std::string> lines;
+  for (const auto& e : corpus()) {
+    server::Request r;
+    r.cmd = "report";
+    r.source = instantiate(e);
+    lines.push_back(server::encodeRequest(r));
+  }
+  return lines;
+}
+
+struct PassResult {
+  double total_ms = 0;
+  double max_ms = 0;
+  std::vector<std::string> signatures;
+  uint64_t warm_hits = 0;
+};
+
+PassResult servePass(MfcDaemon& d, const std::vector<std::string>& lines) {
+  PassResult res;
+  uint64_t warm0 = d.stats().warm_hits.load();
+  for (const auto& line : lines) {
+    auto t0 = std::chrono::steady_clock::now();
+    std::string out = d.handleLine(line);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    res.total_ms += ms;
+    if (ms > res.max_ms) res.max_ms = ms;
+    JsonValue v;
+    std::string err;
+    if (!parseJson(out, v, err) || !v.get("ok").asBool()) {
+      std::fprintf(stderr, "serving pass failed: %s\n", out.c_str());
+      std::exit(1);
+    }
+    res.signatures.push_back(v.get("signature").asString());
+  }
+  res.warm_hits = d.stats().warm_hits.load() - warm0;
+  return res;
+}
+
+void requireIdentical(const PassResult& ref, const PassResult& pass,
+                      const char* what) {
+  if (ref.signatures != pass.signatures) {
+    std::fprintf(stderr,
+                 "BUG: %s pass produced different plan signatures than "
+                 "the cold pass\n",
+                 what);
+    std::exit(1);
+  }
+}
+
+// google-benchmark views of the three serving modes (per-request mean).
+
+void BM_ServeCold(benchmark::State& state) {
+  std::vector<std::string> lines = requestLines();
+  for (auto _ : state) {
+    state.PauseTiming();
+    TempStore store;
+    MfcDaemon d(benchOptions(store.dir));
+    state.ResumeTiming();
+    for (const auto& line : lines)
+      benchmark::DoNotOptimize(d.handleLine(line));
+  }
+  state.counters["programs"] = static_cast<double>(lines.size());
+}
+
+void BM_ServeWarmMemory(benchmark::State& state) {
+  std::vector<std::string> lines = requestLines();
+  TempStore store;
+  MfcDaemon d(benchOptions(store.dir));
+  for (const auto& line : lines) d.handleLine(line);  // prime
+  for (auto _ : state)
+    for (const auto& line : lines)
+      benchmark::DoNotOptimize(d.handleLine(line));
+  state.counters["programs"] = static_cast<double>(lines.size());
+}
+
+void BM_ServeWarmDisk(benchmark::State& state) {
+  std::vector<std::string> lines = requestLines();
+  TempStore store;
+  {
+    MfcDaemon prime(benchOptions(store.dir));
+    for (const auto& line : lines) prime.handleLine(line);
+    prime.handleLine("{\"cmd\":\"flush\"}");
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    MfcDaemon d(benchOptions(store.dir));
+    state.ResumeTiming();
+    d.store().open();  // timed: decode is part of the restart path
+    for (const auto& line : lines)
+      benchmark::DoNotOptimize(d.handleLine(line));
+  }
+  state.counters["programs"] = static_cast<double>(lines.size());
+}
+
+void passJson(FILE* f, const char* name, const PassResult& r, size_t n,
+              bool last) {
+  std::fprintf(f,
+               "    \"%s\": {\"total_ms\": %.3f, \"mean_ms\": %.3f, "
+               "\"max_ms\": %.3f, \"warm_hits\": %llu}%s\n",
+               name, r.total_ms, n ? r.total_ms / static_cast<double>(n) : 0,
+               r.max_ms, static_cast<unsigned long long>(r.warm_hits),
+               last ? "" : ",");
+}
+
+void writeServingJson(const std::string& path) {
+  std::vector<std::string> lines = requestLines();
+
+  TempStore store;
+  PassResult cold, warm_mem, warm_disk;
+  {
+    MfcDaemon d(benchOptions(store.dir));
+    // Warm the process itself first (allocators, lazy statics) with a
+    // throwaway daemon pass so `cold` measures analysis, not startup.
+    servePass(d, lines);
+  }
+  {
+    TempStore cold_store;
+    MfcDaemon d(benchOptions(cold_store.dir));
+    cold = servePass(d, lines);
+    warm_mem = servePass(d, lines);
+    d.handleLine("{\"cmd\":\"flush\"}");
+    std::string cmd = "cp '" + cold_store.dir + "/summary.snap' '" +
+                      store.dir + "/summary.snap'";
+    if (std::system(cmd.c_str()) != 0) {
+      std::fprintf(stderr, "snapshot copy failed\n");
+      std::exit(1);
+    }
+  }
+  {
+    MfcDaemon d(benchOptions(store.dir));
+    d.store().open();
+    warm_disk = servePass(d, lines);
+  }
+  requireIdentical(cold, warm_mem, "warm-memory");
+  requireIdentical(cold, warm_disk, "warm-disk");
+  if (warm_mem.warm_hits != lines.size() ||
+      warm_disk.warm_hits != lines.size()) {
+    std::fprintf(stderr, "BUG: warm pass missed the store (%llu/%zu)\n",
+                 static_cast<unsigned long long>(warm_disk.warm_hits),
+                 lines.size());
+    std::exit(1);
+  }
+
+  struct stat st;
+  long snap_bytes =
+      ::stat((store.dir + "/summary.snap").c_str(), &st) == 0
+          ? static_cast<long>(st.st_size)
+          : 0;
+
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"fig_serving_latency\",\n");
+  std::fprintf(f, "  \"programs\": %zu,\n", lines.size());
+  std::fprintf(f, "  \"snapshot_bytes\": %ld,\n", snap_bytes);
+  std::fprintf(f, "  \"passes\": {\n");
+  passJson(f, "cold", cold, lines.size(), false);
+  passJson(f, "warm_memory", warm_mem, lines.size(), false);
+  passJson(f, "warm_disk", warm_disk, lines.size(), true);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"warm_memory_speedup\": %.3f,\n",
+               warm_mem.total_ms > 0 ? cold.total_ms / warm_mem.total_ms
+                                     : 0.0);
+  std::fprintf(f, "  \"warm_disk_speedup\": %.3f,\n",
+               warm_disk.total_ms > 0 ? cold.total_ms / warm_disk.total_ms
+                                      : 0.0);
+  std::fprintf(f, "  \"signatures_identical\": true\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf(
+      "wrote %s (cold %.1f ms, warm-mem %.1f ms, warm-disk %.1f ms over "
+      "%zu programs; warm-disk speedup %.1fx)\n",
+      path.c_str(), cold.total_ms, warm_mem.total_ms, warm_disk.total_ms,
+      lines.size(),
+      warm_disk.total_ms > 0 ? cold.total_ms / warm_disk.total_ms : 0.0);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ServeCold)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeWarmMemory)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeWarmDisk)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  std::string json_path = extractJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) writeServingJson(json_path);
+  return 0;
+}

@@ -11,6 +11,8 @@
 //   mfc slice   <file.mf|corpus:NAME> <line>:<var>   backward program slice
 //   mfc certify <file.mf|corpus:NAME>        PDG vs plans vs auditor
 //   mfc list                                 list corpus programs
+//   mfc serve                                run the mfcd analysis daemon
+//   mfc daemon <status|ping|flush|stop>      control a running mfcd
 //
 // Verification flags (combinable with any command, e.g. `mfc run x.mf
 // --lint --audit --race-check`):
@@ -21,9 +23,17 @@
 //   -Werror           promote all warnings to errors
 //   -Werror=<ids>     promote only the listed diagnostic ids
 //
+// Daemon mode: `--daemon` routes report/emit through a running mfcd
+// (socket from --socket=PATH or PADFA_MFCD_SOCKET), transparently
+// falling back to in-process analysis when the daemon is unreachable.
+//
 // Sources can come from disk or from the built-in corpus via the
 // `corpus:` prefix. Exit status is 1 when any enabled verifier finds a
-// problem (lint errors under -Werror, an unsound plan, a race violation).
+// problem (lint errors under -Werror, an unsound plan, a race violation)
+// and on unreadable inputs.
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,9 +46,12 @@
 #include "codegen/parallel_emit.h"
 #include "corpus/corpus.h"
 #include "driver/padfa.h"
+#include "driver/plan_signature.h"
 #include "pdg/certify.h"
 #include "pdg/pdg.h"
 #include "pdg/slice.h"
+#include "server/client.h"
+#include "server/server.h"
 
 using namespace padfa;
 
@@ -60,31 +73,57 @@ int usage() {
       "  slice   <file.mf|corpus:NAME> <line>:<var>  backward slice\n"
       "  certify <file.mf|corpus:NAME>            PDG vs plans vs auditor\n"
       "  list                                     list corpus programs\n"
+      "  serve                                    run the mfcd daemon\n"
+      "  daemon <status|ping|flush|stop>          control a running mfcd\n"
       "flags: --lint --audit --race-check --only=<ids> -Werror[=<ids>] "
-      "--json\n");
+      "--json --daemon --socket=<path>\n");
   return 2;
+}
+
+// Read an on-disk source with real I/O-failure detection: opening a
+// directory "succeeds" on Linux and then reads zero bytes, which used to
+// make `mfc report <dir>` exit 0 on an empty program. Reject non-regular
+// files up front and check the stream state after the read.
+bool readSourceFile(const std::string& path, std::string& out) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "mfc: cannot open '%s': %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    std::fprintf(stderr, "mfc: cannot read '%s': not a regular file\n",
+                 path.c_str());
+    return false;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "mfc: cannot open '%s': %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad() || ss.fail()) {
+    std::fprintf(stderr, "mfc: error reading '%s'\n", path.c_str());
+    return false;
+  }
+  out = ss.str();
+  return true;
 }
 
 bool loadSource(const std::string& spec, std::string& out) {
   if (spec.rfind("corpus:", 0) == 0) {
     const CorpusEntry* e = corpusEntry(spec.substr(7));
     if (!e) {
-      std::fprintf(stderr, "unknown corpus program '%s'\n",
+      std::fprintf(stderr, "mfc: unknown corpus program '%s'\n",
                    spec.substr(7).c_str());
       return false;
     }
     out = instantiate(*e);
     return true;
   }
-  std::ifstream in(spec);
-  if (!in) {
-    std::fprintf(stderr, "cannot open '%s'\n", spec.c_str());
-    return false;
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  out = ss.str();
-  return true;
+  return readSourceFile(spec, out);
 }
 
 std::vector<std::string> splitIds(const std::string& csv) {
@@ -112,6 +151,8 @@ struct Cli {
   bool race = false;
   bool json = false;
   bool werror = false;
+  bool daemon = false;           // route report/emit through mfcd
+  std::string socket;            // --socket override for daemon mode
   std::vector<std::string> werror_ids;
   std::vector<std::string> only;
 };
@@ -124,45 +165,7 @@ void applyWerror(DiagEngine& diags, const Cli& cli) {
 }
 
 int report(const CompiledProgram& cp) {
-  std::printf("%-16s %-6s %-14s %-14s %s\n", "loop", "depth", "base",
-              "predicated", "notes");
-  for (const LoopNode* node : cp.loops.allLoops()) {
-    const LoopPlan* bp = cp.base.planFor(node->loop);
-    const LoopPlan* pp = cp.pred.planFor(node->loop);
-    if (!bp || !pp) continue;
-    std::string notes;
-    if (pp->status == LoopStatus::RuntimeTest)
-      notes = "test: " + pp->runtime_test.str(cp.interner());
-    else if (pp->status == LoopStatus::Sequential)
-      notes = pp->reason;
-    if (pp->degraded || bp->degraded)
-      notes += " [degraded: " +
-               (pp->degraded ? pp->degrade_cause : bp->degrade_cause) + "]";
-    for (const auto& pa : pp->privatized) {
-      notes += " [private " +
-               std::string(cp.interner().str(pa.array->name)) +
-               (pa.copy_in ? "+in" : "") + (pa.copy_out ? "+out" : "") + "]";
-    }
-    for (const auto& red : pp->reductions)
-      notes += " [reduction " +
-               std::string(cp.interner().str(red.scalar->name)) + "]";
-    std::printf("%-16s %-6d %-14s %-14s %s\n", node->loop->loop_id.c_str(),
-                node->depth, std::string(loopStatusName(bp->status)).c_str(),
-                std::string(loopStatusName(pp->status)).c_str(),
-                notes.c_str());
-  }
-  size_t degraded = cp.base.degradedCount() + cp.pred.degradedCount();
-  if (degraded > 0) {
-    std::printf("\n%zu degraded plan(s) — analysis budget exhaustion:",
-                degraded);
-    std::map<std::string, uint64_t> causes;
-    for (const auto* r : {&cp.base, &cp.pred})
-      for (const auto& [cause, n] : r->exhaustion_causes) causes[cause] += n;
-    for (const auto& [cause, n] : causes)
-      std::printf(" %s=%llu", cause.c_str(),
-                  static_cast<unsigned long long>(n));
-    std::printf("\n");
-  }
+  std::fputs(renderPlanReport(cp).c_str(), stdout);
   return 0;
 }
 
@@ -362,10 +365,81 @@ int certify(const CompiledProgram& cp) {
 bool knownCommand(const std::string& cmd) {
   static const char* kCommands[] = {"report", "run",  "elpd",  "emit",
                                     "lint",   "audit", "race",  "deps",
-                                    "slice",  "certify", "list"};
+                                    "slice",  "certify", "list", "serve",
+                                    "daemon"};
   for (const char* c : kCommands)
     if (cmd == c) return true;
   return false;
+}
+
+std::string socketFor(const Cli& cli) {
+  return cli.socket.empty() ? server::defaultSocketPath() : cli.socket;
+}
+
+/// Route report/emit through a running mfcd. Returns true when the
+/// daemon handled the request (rc filled in); false means "fall back to
+/// in-process analysis" (daemon unreachable or shedding load).
+bool tryDaemon(const Cli& cli, const std::string& source, int& rc) {
+  server::Request req;
+  req.cmd = cli.cmd;
+  req.source = source;
+  JsonValue resp;
+  std::string err;
+  if (!server::daemonCall(socketFor(cli), req, resp, err)) {
+    std::fprintf(stderr,
+                 "mfc: mfcd unavailable (%s); falling back to in-process "
+                 "analysis\n",
+                 err.c_str());
+    return false;
+  }
+  if (!resp.get("ok").asBool()) {
+    const std::string& code = resp.get("error").asString();
+    if (code == "overloaded") {
+      std::fprintf(stderr,
+                   "mfc: mfcd shedding load; falling back to in-process "
+                   "analysis\n");
+      return false;
+    }
+    std::fprintf(stderr, "mfc: mfcd error: %s (%s)\n", code.c_str(),
+                 resp.get("detail").asString().c_str());
+    const std::string& diag = resp.get("diagnostics").asString();
+    if (!diag.empty()) std::fputs(diag.c_str(), stderr);
+    rc = 1;
+    return true;
+  }
+  std::fputs(resp.get(cli.cmd).asString().c_str(), stdout);
+  if (resp.get("cached").asBool())
+    std::fprintf(stderr, "mfc: served warm from mfcd (source %s)\n",
+                 resp.get("source_hash").asString().c_str());
+  rc = 0;
+  return true;
+}
+
+/// `mfc daemon <status|ping|flush|stop>` — control-plane client.
+int daemonControl(const Cli& cli) {
+  std::string action = cli.spec;
+  if (action.empty()) {
+    std::fprintf(stderr,
+                 "mfc daemon: missing action (status|ping|flush|stop)\n");
+    return 2;
+  }
+  server::Request req;
+  if (action == "stop") req.cmd = "shutdown";
+  else if (action == "status" || action == "ping" || action == "flush")
+    req.cmd = action;
+  else {
+    std::fprintf(stderr, "mfc daemon: unknown action '%s'\n",
+                 action.c_str());
+    return 2;
+  }
+  JsonValue resp;
+  std::string err;
+  if (!server::daemonCall(socketFor(cli), req, resp, err)) {
+    std::fprintf(stderr, "mfc daemon: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("%s\n", resp.dump().c_str());
+  return resp.get("ok").asBool() ? 0 : 1;
 }
 
 }  // namespace
@@ -379,6 +453,8 @@ int main(int argc, char** argv) {
     else if (a == "--audit") cli.audit = true;
     else if (a == "--race-check") cli.race = true;
     else if (a == "--json") cli.json = true;
+    else if (a == "--daemon") cli.daemon = true;
+    else if (a.rfind("--socket=", 0) == 0) cli.socket = a.substr(9);
     else if (a == "-Werror") cli.werror = true;
     else if (a.rfind("-Werror=", 0) == 0) {
       for (auto& id : splitIds(a.substr(8))) cli.werror_ids.push_back(id);
@@ -416,6 +492,16 @@ int main(int argc, char** argv) {
       std::printf("%-12s %s\n", e.name.c_str(), e.suite.c_str());
     return 0;
   }
+  if (cli.cmd == "serve") {
+    server::ServerOptions opts = server::ServerOptions::fromEnv();
+    if (!cli.socket.empty()) opts.socket_path = cli.socket;
+    std::string err;
+    server::MfcDaemon daemon(std::move(opts));
+    int rc = daemon.run(err);
+    if (!err.empty()) std::fprintf(stderr, "mfc serve: %s\n", err.c_str());
+    return rc;
+  }
+  if (cli.cmd == "daemon") return daemonControl(cli);
   if (cli.cmd.empty() || cli.spec.empty()) return usage();
   // Verifier subcommands are sugar for the matching flag.
   if (cli.cmd == "lint") cli.lint = true;
@@ -424,6 +510,13 @@ int main(int argc, char** argv) {
 
   std::string source;
   if (!loadSource(cli.spec, source)) return 1;
+  // Daemon routing: report/emit (without local-only verifier flags) can
+  // be served by a running mfcd; anything else needs the AST in-process.
+  if (cli.daemon && (cli.cmd == "report" || cli.cmd == "emit") &&
+      !cli.lint && !cli.audit && !cli.race) {
+    int rc = 0;
+    if (tryDaemon(cli, source, rc)) return rc;
+  }
   DiagEngine diags;
   applyWerror(diags, cli);
   auto cp = compileSource(source, diags);

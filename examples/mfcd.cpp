@@ -1,0 +1,57 @@
+// mfcd — the persistent analysis daemon (also reachable as `mfc serve`).
+//
+//   mfcd [--socket=PATH] [--store=DIR] [--workers=N] [--queue=N]
+//        [--deadline-ms=N] [--flush-every=N]
+//
+// Serves the newline-delimited JSON protocol of DESIGN.md §12 on a
+// unix-domain socket. Defaults come from the PADFA_MFCD_* / PADFA_STORE_DIR
+// environment; flags win over the environment. SIGTERM/SIGINT drain
+// in-flight requests, flush the snapshot store, and exit 0.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "server/server.h"
+
+using namespace padfa;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: mfcd [--socket=PATH] [--store=DIR] [--workers=N] [--queue=N]\n"
+      "            [--deadline-ms=N] [--flush-every=N]\n"
+      "Serves mfc analysis requests over a unix socket; see `mfc serve`.\n");
+  return 2;
+}
+
+bool numFlag(const std::string& arg, const char* name, uint64_t& out) {
+  std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  char* end = nullptr;
+  out = std::strtoull(arg.c_str() + prefix.size(), &end, 10);
+  return end && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ServerOptions opts = server::ServerOptions::fromEnv();
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    uint64_t n = 0;
+    if (a.rfind("--socket=", 0) == 0) opts.socket_path = a.substr(9);
+    else if (a.rfind("--store=", 0) == 0) opts.store_dir = a.substr(8);
+    else if (numFlag(a, "--workers", n)) opts.workers = n ? static_cast<unsigned>(n) : 1;
+    else if (numFlag(a, "--queue", n)) opts.queue_limit = n;
+    else if (numFlag(a, "--deadline-ms", n)) opts.request_deadline_ms = static_cast<double>(n);
+    else if (numFlag(a, "--flush-every", n)) opts.flush_every = n ? static_cast<unsigned>(n) : 1;
+    else return usage();
+  }
+  std::string err;
+  server::MfcDaemon daemon(std::move(opts));
+  int rc = daemon.run(err);
+  if (!err.empty()) std::fprintf(stderr, "mfcd: %s\n", err.c_str());
+  return rc;
+}

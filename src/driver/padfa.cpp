@@ -1,11 +1,19 @@
 #include "driver/padfa.h"
 
+#include <cstdio>
+
 #include "runtime/thread_pool.h"
 
 namespace padfa {
 
 std::optional<CompiledProgram> compileSource(const std::string& source,
                                              DiagEngine& diags) {
+  return compileSource(source, diags, BudgetLimits::defaults());
+}
+
+std::optional<CompiledProgram> compileSource(const std::string& source,
+                                             DiagEngine& diags,
+                                             const BudgetLimits& budget) {
   auto program = parseProgram(source, diags);
   if (!program) return std::nullopt;
   if (!analyze(*program, diags)) return std::nullopt;
@@ -17,9 +25,13 @@ std::optional<CompiledProgram> compileSource(const std::string& source,
   // pool worker — e.g. program-parallel corpus drivers); predicated,
   // typically the more expensive of the pair, runs on the caller.
   Program& prog = *program;
+  AnalysisConfig base_cfg = AnalysisConfig::baseline();
+  base_cfg.budget = budget;
+  AnalysisConfig pred_cfg = AnalysisConfig::predicated();
+  pred_cfg.budget = budget;
   std::future<AnalysisResult> base_fut = analysisPool().submit(
-      [&prog] { return analyzeProgram(prog, AnalysisConfig::baseline()); });
-  cp.pred = analyzeProgram(prog, AnalysisConfig::predicated());
+      [&prog, base_cfg] { return analyzeProgram(prog, base_cfg); });
+  cp.pred = analyzeProgram(prog, pred_cfg);
   cp.base = base_fut.get();
   // Graceful degradation ladder: a loop whose *predicated* analysis blew
   // its budget falls back to the baseline plan for that loop when the
@@ -37,6 +49,55 @@ std::optional<CompiledProgram> compileSource(const std::string& source,
   }
   cp.program = std::move(program);
   return cp;
+}
+
+std::string renderPlanReport(const CompiledProgram& cp) {
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "%-16s %-6s %-14s %-14s %s\n", "loop",
+                "depth", "base", "predicated", "notes");
+  out += buf;
+  for (const LoopNode* node : cp.loops.allLoops()) {
+    const LoopPlan* bp = cp.base.planFor(node->loop);
+    const LoopPlan* pp = cp.pred.planFor(node->loop);
+    if (!bp || !pp) continue;
+    std::string notes;
+    if (pp->status == LoopStatus::RuntimeTest)
+      notes = "test: " + pp->runtime_test.str(cp.interner());
+    else if (pp->status == LoopStatus::Sequential)
+      notes = pp->reason;
+    if (pp->degraded || bp->degraded)
+      notes += " [degraded: " +
+               (pp->degraded ? pp->degrade_cause : bp->degrade_cause) + "]";
+    for (const auto& pa : pp->privatized) {
+      notes += " [private " +
+               std::string(cp.interner().str(pa.array->name)) +
+               (pa.copy_in ? "+in" : "") + (pa.copy_out ? "+out" : "") + "]";
+    }
+    for (const auto& red : pp->reductions)
+      notes += " [reduction " +
+               std::string(cp.interner().str(red.scalar->name)) + "]";
+    std::snprintf(buf, sizeof(buf), "%-16s %-6d %-14s %-14s %s\n",
+                  node->loop->loop_id.c_str(), node->depth,
+                  std::string(loopStatusName(bp->status)).c_str(),
+                  std::string(loopStatusName(pp->status)).c_str(),
+                  notes.c_str());
+    out += buf;
+  }
+  size_t degraded = cp.base.degradedCount() + cp.pred.degradedCount();
+  if (degraded > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n%zu degraded plan(s) — analysis budget exhaustion:",
+                  degraded);
+    out += buf;
+    std::map<std::string, uint64_t> causes;
+    for (const auto* r : {&cp.base, &cp.pred})
+      for (const auto& [cause, n] : r->exhaustion_causes) causes[cause] += n;
+    for (const auto& [cause, n] : causes)
+      out += " " + cause + "=" + std::to_string(n);
+    out += '\n';
+  }
+  return out;
 }
 
 std::string_view loopOutcomeName(LoopOutcome o) {

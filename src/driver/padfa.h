@@ -37,6 +37,22 @@ struct CompiledProgram {
 std::optional<CompiledProgram> compileSource(const std::string& source,
                                              DiagEngine& diags);
 
+/// Same, but with explicit budget limits applied to both analyses — the
+/// mfcd daemon's per-request deadline path. A governed budget degrades
+/// slow loops to sound Sequential/baseline plans instead of hanging the
+/// request (and bypasses the memoization caches, per the degradation
+/// contract in perf_stats.h). PADFA_BUDGET_* env overrides still apply
+/// on top of `budget`.
+std::optional<CompiledProgram> compileSource(const std::string& source,
+                                             DiagEngine& diags,
+                                             const BudgetLimits& budget);
+
+/// Render the `mfc report` table (per loop: depth, base/predicated
+/// status, notes, plus the degradation trailer) to a string — shared by
+/// the CLI and the daemon's `report` responses, which must be
+/// byte-identical for the same source.
+std::string renderPlanReport(const CompiledProgram& cp);
+
 /// Classification of one loop for the evaluation tables.
 enum class LoopOutcome {
   BaseParallel,       // base SUIF parallelizes (compile time)

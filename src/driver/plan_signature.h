@@ -1,0 +1,42 @@
+// Canonical structural signature of a compiled program's parallelization
+// output — the library's definition of "bit-identical plans".
+//
+// One deterministic text rendering covers, per loop: the base plan, the
+// predicated plan (status, run-time test, privatization/reduction sets,
+// degradation, attribution flags) and the driver's Table-2 outcome;
+// plus the per-analysis degradation telemetry. Everything in it is
+// derived from Sema-assigned deterministic ids (VarDecl::uid, interner
+// Symbol ids), so two processes compiling the same source — cold or
+// warm, cached or uncached, served from the daemon or run in-process —
+// produce byte-equal signatures iff they produced the same plans.
+//
+// Consumers: the cache/thread coherence test, the persistent summary
+// store (per-procedure plan records are keyed by source content hash
+// and carry these bytes), the mfcd daemon (responses embed the
+// signature so clients can verify equivalence with a local run), and
+// the crash-recovery fault-injection suites.
+#pragma once
+
+#include <string>
+
+#include "driver/padfa.h"
+
+namespace padfa {
+
+/// Signature of a single plan (appended to `out`); "<none>" when null.
+void appendPlanSignature(std::string& out, const LoopPlan* plan);
+
+/// Whole-program signature: every loop in LoopTree order + telemetry.
+std::string planSignature(const CompiledProgram& cp);
+
+/// The per-procedure slice of planSignature(): only loops belonging to
+/// `proc`, without the program-level telemetry trailer. Concatenating
+/// the slices in Program::procs order and appending
+/// planTelemetrySignature() reconstitutes planSignature() exactly.
+std::string procPlanSignature(const CompiledProgram& cp,
+                              const ProcDecl* proc);
+
+/// The degradation-telemetry trailer of planSignature().
+std::string planTelemetrySignature(const CompiledProgram& cp);
+
+}  // namespace padfa

@@ -64,6 +64,17 @@ void FeasibilityCache::clear() {
   }
 }
 
+std::vector<std::pair<std::string, Feasibility>> FeasibilityCache::snapshot() {
+  std::vector<std::pair<std::string, Feasibility>> out;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.insert(out.end(), s.map.begin(), s.map.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 size_t FeasibilityCache::size() {
   size_t n = 0;
   for (Shard& s : shards_) {

@@ -27,6 +27,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "presburger/system.h"
 
@@ -51,6 +53,12 @@ class FeasibilityCache {
   void insert(const std::string& key, Feasibility f);
   void clear();
   size_t size();
+
+  /// All entries, sorted by key — the deterministic export the
+  /// persistent summary store serializes. Entries are immutable facts
+  /// (see file comment), so a snapshot taken while other threads insert
+  /// is still a set of individually-valid records.
+  std::vector<std::pair<std::string, Feasibility>> snapshot();
 
  private:
   static constexpr size_t kShards = 16;

@@ -1,0 +1,101 @@
+#include "server/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace padfa::server {
+
+namespace {
+
+struct FdCloser {
+  int fd;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+bool daemonRoundTrip(const std::string& socket_path,
+                     const std::string& request_line,
+                     std::string& response_line, std::string& err,
+                     int timeout_seconds) {
+  response_line.clear();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    err = "bad socket path";
+    return false;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  FdCloser closer{fd};
+  struct timeval tv;
+  tv.tv_sec = timeout_seconds;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    err = "connect " + socket_path + ": " + std::strerror(errno);
+    return false;
+  }
+  std::string line = request_line;
+  line += '\n';
+  size_t off = 0;
+  while (off < line.size()) {
+    ssize_t n = ::send(fd, line.data() + off, line.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A shedding server answers and closes before reading the
+      // request; the `overloaded` response is already buffered on our
+      // side of the dead connection, so go read it.
+      if (errno == EPIPE || errno == ECONNRESET) break;
+      err = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  char buf[4096];
+  while (response_line.find('\n') == std::string::npos) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      err = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    response_line.append(buf, static_cast<size_t>(n));
+  }
+  size_t nl = response_line.find('\n');
+  if (nl == std::string::npos) {
+    err = "connection closed before a complete response";
+    return false;
+  }
+  response_line.resize(nl);
+  return true;
+}
+
+bool daemonCall(const std::string& socket_path, const Request& req,
+                JsonValue& response, std::string& err, int timeout_seconds) {
+  std::string line;
+  if (!daemonRoundTrip(socket_path, encodeRequest(req), line, err,
+                       timeout_seconds))
+    return false;
+  if (!parseJson(line, response, err)) {
+    err = "malformed response: " + err;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace padfa::server

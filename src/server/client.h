@@ -1,0 +1,30 @@
+// Client side of the mfcd protocol: one connect / one request line /
+// one response line. Used by mfc's --daemon mode (with transparent
+// fallback to in-process analysis when the round trip fails) and by the
+// serving benchmark.
+#pragma once
+
+#include <string>
+
+#include "server/protocol.h"
+
+namespace padfa::server {
+
+/// Send `request_line` (without trailing newline) to the daemon at
+/// `socket_path` and read the one-line response into `response_line`
+/// (newline stripped). Returns false and fills `err` on connect or I/O
+/// failure — the caller's signal to fall back to in-process analysis.
+/// A *protocol*-level failure (response with ok:false) still returns
+/// true; inspect the response.
+bool daemonRoundTrip(const std::string& socket_path,
+                     const std::string& request_line,
+                     std::string& response_line, std::string& err,
+                     int timeout_seconds = 120);
+
+/// Convenience: encode `req`, round-trip, parse the response. False +
+/// err on transport failure or a response that is not valid JSON.
+bool daemonCall(const std::string& socket_path, const Request& req,
+                JsonValue& response, std::string& err,
+                int timeout_seconds = 120);
+
+}  // namespace padfa::server

@@ -1,0 +1,45 @@
+#include "server/protocol.h"
+
+namespace padfa::server {
+
+bool parseRequest(const std::string& line, Request& out, std::string& err) {
+  JsonValue v;
+  if (!parseJson(line, v, err)) return false;
+  if (v.kind() != JsonValue::Kind::Object) {
+    err = "request is not a JSON object";
+    return false;
+  }
+  if (v.get("cmd").kind() != JsonValue::Kind::String) {
+    err = "missing \"cmd\"";
+    return false;
+  }
+  out.cmd = v.get("cmd").asString();
+  out.source = v.get("source").asString();
+  out.spec = v.get("spec").asString();
+  out.deadline_ms = v.get("deadline_ms").asNumber(0);
+  out.fm_steps = static_cast<uint64_t>(v.get("fm_steps").asNumber(0));
+  out.sleep_ms = static_cast<int>(v.get("ms").asNumber(0));
+  return true;
+}
+
+std::string encodeRequest(const Request& r) {
+  JsonValue v = JsonValue::object();
+  v.set("cmd", JsonValue::of(r.cmd));
+  if (!r.source.empty()) v.set("source", JsonValue::of(r.source));
+  if (!r.spec.empty()) v.set("spec", JsonValue::of(r.spec));
+  if (r.deadline_ms > 0) v.set("deadline_ms", JsonValue::of(r.deadline_ms));
+  if (r.fm_steps > 0)
+    v.set("fm_steps", JsonValue::of(static_cast<int64_t>(r.fm_steps)));
+  if (r.sleep_ms > 0) v.set("ms", JsonValue::of(int64_t{r.sleep_ms}));
+  return v.dump();
+}
+
+JsonValue errorResponse(const std::string& code, const std::string& detail) {
+  JsonValue v = JsonValue::object();
+  v.set("ok", JsonValue::of(false));
+  v.set("error", JsonValue::of(code));
+  if (!detail.empty()) v.set("detail", JsonValue::of(detail));
+  return v;
+}
+
+}  // namespace padfa::server

@@ -1,0 +1,56 @@
+// Wire protocol of the mfcd analysis daemon.
+//
+// Transport: a unix-domain stream socket; one request per connection.
+// The client sends exactly one JSON object terminated by '\n', the
+// server replies with exactly one JSON object terminated by '\n' and
+// closes. JSON string escaping keeps embedded newlines (MF sources) on
+// one line, so framing is trivial and a torn connection can never be
+// confused with a complete request.
+//
+// Requests:
+//   {"cmd":"ping"}
+//   {"cmd":"status"}
+//   {"cmd":"flush"}                     force a store snapshot save
+//   {"cmd":"shutdown"}                  drain, flush, exit
+//   {"cmd":"report"|"emit"|"analyze",
+//    "source":"<mf text>" | "spec":"corpus:NAME",
+//    "deadline_ms":N, "fm_steps":N}     budget overrides, both optional
+//   {"cmd":"sleep","ms":N}              test builds only (see ServerOptions)
+//
+// Responses always carry "ok". Success responses for analysis commands
+// carry "source_hash" (hex), "signature" (the canonical plan signature,
+// driver/plan_signature.h), "cached" (served from the persistent store
+// without re-analysis), "degraded" (count of budget-degraded plans),
+// and the command payload ("report" or "emit" text). Failures carry
+// "error" (stable code: bad-request, parse-error, compile-error,
+// overloaded, request-too-large, internal) plus human "detail" and,
+// for compile-error, rendered "diagnostics".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/json.h"
+
+namespace padfa::server {
+
+struct Request {
+  std::string cmd;
+  std::string source;    ///< inline MF source (wins over spec)
+  std::string spec;      ///< "corpus:NAME" or a path the *server* can read
+  double deadline_ms = 0;   ///< per-request wall-clock budget (0 = server default)
+  uint64_t fm_steps = 0;    ///< per-request FM-step budget (0 = unlimited)
+  int sleep_ms = 0;         ///< test-only worker stall
+};
+
+/// Parse one request line. False + err on malformed JSON or a missing /
+/// non-string "cmd".
+bool parseRequest(const std::string& line, Request& out, std::string& err);
+
+/// Serialize a request to its one-line JSON form (no trailing newline).
+std::string encodeRequest(const Request& r);
+
+/// {"ok":false,"error":code,"detail":detail} as a JsonValue.
+JsonValue errorResponse(const std::string& code, const std::string& detail);
+
+}  // namespace padfa::server

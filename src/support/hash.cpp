@@ -1,0 +1,49 @@
+#include "support/hash.h"
+
+#include <array>
+
+namespace padfa {
+
+namespace {
+
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+uint32_t crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = makeCrcTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint64_t contentHash64(std::string_view s) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char ch : s) {
+    h ^= ch;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hashHex(uint64_t h) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = digits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace padfa

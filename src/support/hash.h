@@ -1,0 +1,34 @@
+// Hashing primitives for the persistent store and the serving layer.
+//
+// crc32: the IEEE 802.3 polynomial (reflected, 0xEDB88320), the checksum
+// every snapshot record carries so torn writes and bit rot are detected
+// on load instead of silently deserialized. contentHash64: FNV-1a over
+// raw bytes, the renaming-*sensitive* identity of an MF source — store
+// records for compiled plans are keyed by it, so an edited source can
+// never alias a stale record. Neither is cryptographic; the store
+// defends against corruption and staleness, not adversaries with write
+// access to the store directory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace padfa {
+
+/// CRC-32 (IEEE) of `data`. `seed` allows incremental use: pass a prior
+/// return value to continue a running checksum.
+uint32_t crc32(const void* data, size_t len, uint32_t seed = 0);
+inline uint32_t crc32(std::string_view s, uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+/// 64-bit FNV-1a content hash.
+uint64_t contentHash64(std::string_view s);
+
+/// Fixed-width lowercase-hex rendering (16 digits) of a content hash,
+/// for logs and JSON payloads.
+std::string hashHex(uint64_t h);
+
+}  // namespace padfa

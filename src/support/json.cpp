@@ -1,0 +1,376 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace padfa {
+
+JsonValue JsonValue::of(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::of(double n) {
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.num_ = n;
+  return v;
+}
+
+JsonValue JsonValue::of(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::String;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::Array;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::Object;
+  return v;
+}
+
+bool JsonValue::asBool(bool dflt) const {
+  return kind_ == Kind::Bool ? bool_ : dflt;
+}
+
+double JsonValue::asNumber(double dflt) const {
+  return kind_ == Kind::Number ? num_ : dflt;
+}
+
+const std::string& JsonValue::asString() const {
+  static const std::string empty;
+  return kind_ == Kind::String ? str_ : empty;
+}
+
+const JsonValue& JsonValue::get(const std::string& key) const {
+  static const JsonValue null_value;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return v;
+  return null_value;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  for (const auto& [k, v] : obj_)
+    if (k == key) return true;
+  return false;
+}
+
+void JsonValue::set(std::string key, JsonValue v) {
+  kind_ = Kind::Object;
+  for (auto& [k, old] : obj_) {
+    if (k == key) {
+      old = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+void JsonValue::push(JsonValue v) {
+  kind_ = Kind::Array;
+  arr_.push_back(std::move(v));
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonValue::dump() const {
+  switch (kind_) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return bool_ ? "true" : "false";
+    case Kind::Number: {
+      // Integers (the common protocol case) print without a fraction.
+      if (num_ == std::floor(num_) && std::abs(num_) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(num_));
+        return buf;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6f", num_);
+      return buf;
+    }
+    case Kind::String: return "\"" + jsonEscape(str_) + "\"";
+    case Kind::Array: {
+      std::string out = "[";
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ",";
+        out += arr_[i].dump();
+      }
+      return out + "]";
+    }
+    case Kind::Object: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + jsonEscape(k) + "\":" + v.dump();
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+// Recursive-descent parser over [p, end). Depth-bounded: the protocol
+// never nests past a handful of levels, and a hostile request must not
+// be able to blow the stack.
+class Parser {
+ public:
+  Parser(const char* p, const char* end, std::string& err)
+      : p_(p), end_(end), err_(err) {}
+
+  bool parse(JsonValue& out) {
+    skipWs();
+    if (!parseValue(out, 0)) return false;
+    skipWs();
+    if (p_ != end_) return fail("trailing garbage after JSON value");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  bool fail(const std::string& msg) {
+    err_ = msg;
+    return false;
+  }
+
+  void skipWs() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r'))
+      ++p_;
+  }
+
+  bool literal(const char* lit) {
+    const char* q = p_;
+    while (*lit) {
+      if (q == end_ || *q != *lit) return false;
+      ++q;
+      ++lit;
+    }
+    p_ = q;
+    return true;
+  }
+
+  bool parseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (p_ == end_) return fail("unexpected end of input");
+    switch (*p_) {
+      case '{': return parseObject(out, depth);
+      case '[': return parseArray(out, depth);
+      case '"': {
+        std::string s;
+        if (!parseString(s)) return false;
+        out = JsonValue::of(std::move(s));
+        return true;
+      }
+      case 't':
+        if (literal("true")) {
+          out = JsonValue::of(true);
+          return true;
+        }
+        return fail("bad literal");
+      case 'f':
+        if (literal("false")) {
+          out = JsonValue::of(false);
+          return true;
+        }
+        return fail("bad literal");
+      case 'n':
+        if (literal("null")) {
+          out = JsonValue::makeNull();
+          return true;
+        }
+        return fail("bad literal");
+      default: return parseNumber(out);
+    }
+  }
+
+  bool parseNumber(JsonValue& out) {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    bool digits = false;
+    while (p_ != end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                          *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+                          *p_ == '-' || *p_ == '+')) {
+      digits |= std::isdigit(static_cast<unsigned char>(*p_)) != 0;
+      ++p_;
+    }
+    if (!digits) return fail("bad number");
+    std::string tok(start, p_);
+    char* parse_end = nullptr;
+    double v = std::strtod(tok.c_str(), &parse_end);
+    if (parse_end != tok.c_str() + tok.size()) return fail("bad number");
+    out = JsonValue::of(v);
+    return true;
+  }
+
+  bool hex4(uint32_t& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (p_ == end_) return fail("truncated \\u escape");
+      char c = *p_++;
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') out |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') out |= static_cast<uint32_t>(c - 'A' + 10);
+      else return fail("bad \\u escape");
+    }
+    return true;
+  }
+
+  void appendUtf8(std::string& s, uint32_t cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parseString(std::string& out) {
+    ++p_;  // opening quote
+    out.clear();
+    while (true) {
+      if (p_ == end_) return fail("unterminated string");
+      char c = *p_++;
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (p_ == end_) return fail("truncated escape");
+      char e = *p_++;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (!hex4(cp)) return false;
+          appendUtf8(out, cp);
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+  }
+
+  bool parseObject(JsonValue& out, int depth) {
+    ++p_;  // '{'
+    out = JsonValue::object();
+    skipWs();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (p_ == end_ || *p_ != '"') return fail("expected object key");
+      std::string key;
+      if (!parseString(key)) return false;
+      skipWs();
+      if (p_ == end_ || *p_ != ':') return fail("expected ':'");
+      ++p_;
+      skipWs();
+      JsonValue v;
+      if (!parseValue(v, depth + 1)) return false;
+      out.set(std::move(key), std::move(v));
+      skipWs();
+      if (p_ == end_) return fail("unterminated object");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray(JsonValue& out, int depth) {
+    ++p_;  // '['
+    out = JsonValue::array();
+    skipWs();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      JsonValue v;
+      if (!parseValue(v, depth + 1)) return false;
+      out.push(std::move(v));
+      skipWs();
+      if (p_ == end_) return fail("unterminated array");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  std::string& err_;
+};
+
+}  // namespace
+
+bool parseJson(const std::string& text, JsonValue& out, std::string& err) {
+  Parser p(text.data(), text.data() + text.size(), err);
+  return p.parse(out);
+}
+
+}  // namespace padfa

@@ -1,0 +1,73 @@
+// Minimal JSON value model + parser/writer for the mfcd wire protocol.
+//
+// The daemon speaks newline-delimited JSON over a unix socket; requests
+// and responses are small, flat-ish objects, so this is a deliberately
+// tiny recursive-descent implementation rather than a dependency. It is
+// strict where the protocol needs it to be: rejects trailing garbage,
+// malformed escapes, and unterminated structures (a truncated request
+// must produce a protocol error, never a partial parse), bounds nesting
+// depth, and round-trips arbitrary byte content through string escapes
+// (including embedded newlines — the reason one request fits one line).
+// Numbers are held as double; the protocol only carries small integers
+// and ratios, both exact in double.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace padfa {
+
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue of(bool b);
+  static JsonValue of(double n);
+  static JsonValue of(int64_t n) { return of(static_cast<double>(n)); }
+  static JsonValue of(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+
+  // Typed accessors with defaults — protocol fields are all optional.
+  bool asBool(bool dflt = false) const;
+  double asNumber(double dflt = 0) const;
+  const std::string& asString() const;  // empty string when not a String
+
+  // Object access. get() returns null-kind value for absent keys.
+  const JsonValue& get(const std::string& key) const;
+  bool has(const std::string& key) const;
+  void set(std::string key, JsonValue v);
+
+  // Array access.
+  const std::vector<JsonValue>& items() const { return arr_; }
+  void push(JsonValue v);
+
+  /// Serialize to a single line (no embedded raw newlines, object keys
+  /// in insertion order — deterministic output for golden tests).
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  // Insertion-ordered object representation (small N; linear lookup).
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Parse a complete JSON document from `text`. Returns false and fills
+/// `err` on any syntax error, depth overflow, or trailing garbage.
+bool parseJson(const std::string& text, JsonValue& out, std::string& err);
+
+/// JSON string-escape `s` (without the surrounding quotes).
+std::string jsonEscape(const std::string& s);
+
+}  // namespace padfa

@@ -49,6 +49,27 @@ std::string PerfStats::report() const {
   return out;
 }
 
+JsonValue cacheStatsToJson(const CacheStats& s) {
+  JsonValue v = JsonValue::object();
+  v.set("hits", JsonValue::of(static_cast<int64_t>(
+                    s.hits.load(std::memory_order_relaxed))));
+  v.set("misses", JsonValue::of(static_cast<int64_t>(
+                      s.misses.load(std::memory_order_relaxed))));
+  v.set("inserts", JsonValue::of(static_cast<int64_t>(
+                       s.inserts.load(std::memory_order_relaxed))));
+  v.set("hit_rate", JsonValue::of(s.hitRate()));
+  return v;
+}
+
+JsonValue perfStatsToJson(const PerfStats& stats) {
+  JsonValue v = JsonValue::object();
+  v.set("feasibility", cacheStatsToJson(stats.feasibility));
+  v.set("implies", cacheStatsToJson(stats.implies));
+  v.set("simplify", cacheStatsToJson(stats.simplify));
+  v.set("summary", cacheStatsToJson(stats.summary));
+  return v;
+}
+
 bool cachesEnabled() {
   int ov = g_caches_override.load(std::memory_order_relaxed);
   if (ov >= 0) return ov != 0;

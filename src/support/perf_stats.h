@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <string>
 
+#include "support/json.h"
+
 namespace padfa {
 
 struct CacheStats {
@@ -69,6 +71,15 @@ struct PerfStats {
   /// One-line-per-cache human-readable dump for bench output.
   std::string report() const;
 };
+
+/// {"hits":h,"misses":m,"inserts":i,"hit_rate":r} for one counter set —
+/// the shape the benches' BENCH_*.json files and the mfcd `status`
+/// response share.
+JsonValue cacheStatsToJson(const CacheStats& s);
+
+/// Object keyed by cache name ("feasibility", "implies", "simplify",
+/// "summary"), each a cacheStatsToJson() entry.
+JsonValue perfStatsToJson(const PerfStats& stats);
 
 /// Whether the memoization layer is active. Defaults to the environment
 /// (PADFA_NO_CACHE unset/empty => enabled); a setCachesEnabled() call

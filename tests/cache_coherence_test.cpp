@@ -14,6 +14,7 @@
 
 #include "corpus/corpus.h"
 #include "driver/padfa.h"
+#include "driver/plan_signature.h"
 #include "presburger/feasibility_cache.h"
 #include "runtime/thread_pool.h"
 #include "support/perf_stats.h"
@@ -21,92 +22,17 @@
 namespace padfa {
 namespace {
 
-void appendDecl(std::string& out, const VarDecl* d) {
-  if (!d) {
-    out += "null";
-    return;
-  }
-  out += std::to_string(d->name.id);
-  out += '#';
-  out += std::to_string(d->uid);
-}
-
-void appendPlan(std::string& out, const LoopPlan* p) {
-  if (!p) {
-    out += "<none>";
-    return;
-  }
-  out += loopStatusName(p->status);
-  out += " test=";
-  out += p->runtime_test.key();
-  out += " degraded=";
-  out += p->degraded ? '1' : '0';
-  out += ':';
-  out += p->degrade_cause;
-  out += " reason=";
-  out += p->reason;
-  out += " priv=[";
-  for (const auto& pa : p->privatized) {
-    appendDecl(out, pa.array);
-    out += pa.copy_in ? "+ci" : "";
-    out += pa.copy_out ? "+co" : "";
-    out += ' ';
-  }
-  out += "] ps=[";
-  for (const VarDecl* d : p->private_scalars) {
-    appendDecl(out, d);
-    out += ' ';
-  }
-  out += "] co=[";
-  for (const VarDecl* d : p->copy_out_scalars) {
-    appendDecl(out, d);
-    out += ' ';
-  }
-  out += "] red=[";
-  for (const auto& r : p->reductions) {
-    appendDecl(out, r.scalar);
-    out += ':';
-    out += std::to_string(static_cast<int>(r.op));
-    out += ' ';
-  }
-  out += "] flags=";
-  out += p->used_predicates ? 'P' : '.';
-  out += p->used_embedding ? 'E' : '.';
-  out += p->used_extraction ? 'X' : '.';
-  out += p->used_reshape ? 'R' : '.';
-  out += p->priv_used ? 'V' : '.';
-}
-
 // Full structural signature of one compiled program's parallelization
-// output: per loop the base plan, predicated plan, and driver outcome,
-// plus the global degradation telemetry. (FM-step/constraint meters are
+// output, via the shared driver/plan_signature.h rendering (also used by
+// the persistent summary store and the mfcd daemon — this test is the
+// coherence anchor for all of them). FM-step/constraint meters are
 // intentionally excluded: cache hits legitimately skip work, and the
-// contract is identical *plans*, not identical work counts.)
+// contract is identical *plans*, not identical work counts.
 std::string signatureOf(const CorpusEntry& e) {
   DiagEngine diags;
   auto cp = compileSource(instantiate(e), diags);
   if (!cp) return "compile-error: " + diags.dump();
-  std::string out;
-  for (const LoopNode* node : cp->loops.allLoops()) {
-    out += node->loop->loop_id;
-    out += " outcome=";
-    out += loopOutcomeName(classifyLoop(*cp, node->loop));
-    out += "\n  base: ";
-    appendPlan(out, cp->base.planFor(node->loop));
-    out += "\n  pred: ";
-    appendPlan(out, cp->pred.planFor(node->loop));
-    out += '\n';
-  }
-  for (const AnalysisResult* ar : {&cp->base, &cp->pred}) {
-    out += ar == &cp->base ? "base" : "pred";
-    out += " degraded_globally=";
-    out += ar->degraded_globally ? '1' : '0';
-    out += " causes=[";
-    for (const auto& [cause, n] : ar->exhaustion_causes)
-      out += cause + ":" + std::to_string(n) + " ";
-    out += "]\n";
-  }
-  return out;
+  return planSignature(*cp);
 }
 
 std::vector<std::string> sweepCorpus(bool caches, unsigned threads) {

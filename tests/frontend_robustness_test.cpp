@@ -7,8 +7,11 @@
 #include "audit/plan_audit.h"
 #include "corpus/corpus.h"
 #include "driver/padfa.h"
+#include "driver/plan_signature.h"
 #include "lang/parser.h"
 #include "lang/sema.h"
+#include "store/snapshot.h"
+#include "support/hash.h"
 
 namespace padfa {
 namespace {
@@ -199,6 +202,58 @@ TEST_P(MutatedCorpus, ByteFlipsNeverCrash) {
     mutated[pick(mutated.size())] =
         replacements[pick(sizeof(replacements) - 1)];
     checkNoCrash(mutated);
+  }
+}
+
+TEST_P(MutatedCorpus, SnapshotMutationsNeverCrashTheStoreLoader) {
+  // Same mutation battery, aimed at the OTHER untrusted-input boundary:
+  // the persistent summary store's snapshot decoder. Build a real
+  // snapshot from this program's compiled plans, then feed truncated /
+  // bit-flipped variants through decodeSnapshot — it must reject cleanly
+  // (with a diagnostic) or decode to content that re-encodes to the
+  // original bytes; partial or corrupt data must never survive.
+  const CorpusEntry& entry = corpus()[static_cast<size_t>(GetParam())];
+  SCOPED_TRACE(entry.name);
+  std::string source = instantiate(entry);
+  DiagEngine diags;
+  auto cp = compileSource(source, diags);
+  ASSERT_TRUE(cp) << diags.dump();
+
+  store::StoreData data;
+  uint64_t hash = contentHash64(source);
+  std::string procs;
+  for (const auto& p : cp->program->procs) {
+    std::string name(cp->interner().str(p->name));
+    data.proc_plans[{hash, name}] = procPlanSignature(*cp, p.get());
+    procs += name;
+    procs += '\n';
+  }
+  data.responses[{hash, "procs"}] = procs;
+  data.responses[{hash, "telemetry"}] = planTelemetrySignature(*cp);
+  data.responses[{hash, "report"}] = renderPlanReport(*cp);
+  data.feasibility["fuzz-key-a"] = 0;
+  data.feasibility["fuzz-key-b"] = 1;
+  const std::string good = store::encodeSnapshot(data);
+
+  state_ = static_cast<uint64_t>(GetParam()) * 2654435761u + 57;
+  for (int trial = 0; trial < 24; ++trial) {
+    std::string b = good;
+    uint64_t kind = next() % 3;
+    if (kind == 0) {
+      b.resize(pick(b.size() + 1));
+    } else {
+      size_t flips = kind == 1 ? 1 : 1 + pick(8);
+      for (size_t f = 0; f < flips; ++f)
+        b[pick(b.size())] ^= static_cast<char>(1u << pick(8));
+    }
+    store::StoreData out;
+    std::string err;
+    if (store::decodeSnapshot(b, out, err)) {
+      EXPECT_EQ(store::encodeSnapshot(out), good)
+          << "a mutated snapshot decoded to different content";
+    } else {
+      EXPECT_FALSE(err.empty()) << "rejection without a diagnostic";
+    }
   }
 }
 

@@ -1,0 +1,436 @@
+// End-to-end tests for the mfcd analysis daemon (src/server/).
+//
+// Runs the daemon in-process (signal handlers off, test commands on)
+// and exercises:
+//   - the protocol surface via handleLine(): ping/status, malformed
+//     JSON, unknown commands, missing sources;
+//   - the serving contract: cold analysis, warm hits that are byte-
+//     identical to the cold response AND to an in-process compile;
+//   - the degradation contract: a budget-starved request degrades to
+//     sound plans identical to a cold in-process run under the same
+//     limits, and its results are never persisted;
+//   - the crash-recovery contract: a corrupt snapshot is quarantined at
+//     startup (visible in status), analysis proceeds cold, and the next
+//     flush restores warm service;
+//   - real sockets: round trip, oversized-request shedding, overload
+//     shedding with a full queue, drain-on-shutdown flushing the store.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "corpus/corpus.h"
+#include "driver/padfa.h"
+#include "driver/plan_signature.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "store/summary_store.h"
+#include "support/hash.h"
+
+namespace padfa {
+namespace {
+
+using server::MfcDaemon;
+using server::Request;
+using server::ServerOptions;
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/padfa-server-test-XXXXXX";
+    char* p = ::mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    path = p ? p : "";
+  }
+  ~TempDir() {
+    if (path.empty()) return;
+    std::string cmd = "rm -rf '" + path + "'";
+    [[maybe_unused]] int rc = std::system(cmd.c_str());
+  }
+};
+
+ServerOptions testOptions(const TempDir& dir, const char* sock_name) {
+  ServerOptions opts;
+  opts.socket_path = dir.path + "/" + sock_name;
+  opts.store_dir = dir.path + "/store";
+  ::mkdir(opts.store_dir.c_str(), 0755);
+  opts.install_signal_handlers = false;
+  opts.enable_test_commands = true;
+  opts.flush_every = 1;  // deterministic persistence in tests
+  return opts;
+}
+
+JsonValue dispatch(MfcDaemon& d, const std::string& line) {
+  JsonValue v;
+  std::string err;
+  EXPECT_TRUE(parseJson(d.handleLine(line), v, err)) << err;
+  return v;
+}
+
+JsonValue dispatch(MfcDaemon& d, const Request& r) {
+  return dispatch(d, server::encodeRequest(r));
+}
+
+std::string corpusSource(size_t i) { return instantiate(corpus()[i]); }
+
+Request simpleReq(const char* cmd) {
+  Request r;
+  r.cmd = cmd;
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// Protocol surface (no sockets).
+
+TEST(Server, ProtocolSurface) {
+  TempDir dir;
+  MfcDaemon d(testOptions(dir, "p.sock"));
+
+  JsonValue v = dispatch(d, std::string("{\"cmd\":\"ping\"}"));
+  EXPECT_TRUE(v.get("ok").asBool());
+  EXPECT_TRUE(v.get("pong").asBool());
+
+  v = dispatch(d, std::string("{\"cmd\":\"status\"}"));
+  EXPECT_TRUE(v.get("ok").asBool());
+  EXPECT_TRUE(v.has("store"));
+  EXPECT_TRUE(v.has("cache"));
+
+  v = dispatch(d, std::string("this is not json"));
+  EXPECT_FALSE(v.get("ok").asBool());
+  EXPECT_EQ(v.get("error").asString(), "parse-error");
+
+  // A line without a string "cmd" never becomes a Request at all.
+  v = dispatch(d, std::string("{\"source\":\"no cmd\"}"));
+  EXPECT_FALSE(v.get("ok").asBool());
+  EXPECT_EQ(v.get("error").asString(), "parse-error");
+
+  v = dispatch(d, std::string("{\"cmd\":\"frobnicate\"}"));
+  EXPECT_EQ(v.get("error").asString(), "bad-request");
+
+  v = dispatch(d, std::string("{\"cmd\":\"report\"}"));
+  EXPECT_EQ(v.get("error").asString(), "bad-request");
+
+  // The daemon refuses to read client file paths.
+  v = dispatch(d, std::string("{\"cmd\":\"report\",\"spec\":\"/etc/hostname\"}"));
+  EXPECT_EQ(v.get("error").asString(), "bad-request");
+
+  v = dispatch(d,
+               std::string("{\"cmd\":\"report\",\"spec\":\"corpus:nope\"}"));
+  EXPECT_EQ(v.get("error").asString(), "bad-request");
+
+  v = dispatch(d, std::string("{\"cmd\":\"report\",\"source\":\"@#$!\"}"));
+  EXPECT_FALSE(v.get("ok").asBool());
+  EXPECT_EQ(v.get("error").asString(), "compile-error");
+  EXPECT_FALSE(v.get("diagnostics").asString().empty());
+}
+
+// ---------------------------------------------------------------------
+// Serving contract: cold == warm == in-process, byte for byte.
+
+TEST(Server, WarmResponsesAreBitIdenticalToColdAndLocal) {
+  TempDir dir;
+  MfcDaemon d(testOptions(dir, "w.sock"));
+  std::string source = corpusSource(0);
+
+  Request req;
+  req.cmd = "report";
+  req.source = source;
+  JsonValue cold = dispatch(d, req);
+  ASSERT_TRUE(cold.get("ok").asBool());
+  EXPECT_FALSE(cold.get("cached").asBool());
+  EXPECT_EQ(cold.get("degraded").asNumber(), 0.0);
+
+  JsonValue warm = dispatch(d, req);
+  ASSERT_TRUE(warm.get("ok").asBool());
+  EXPECT_TRUE(warm.get("cached").asBool());
+  EXPECT_EQ(warm.get("report").asString(), cold.get("report").asString());
+  EXPECT_EQ(warm.get("signature").asString(),
+            cold.get("signature").asString());
+  EXPECT_EQ(warm.get("source_hash").asString(),
+            cold.get("source_hash").asString());
+
+  // Both equal a fresh in-process compile.
+  DiagEngine diags;
+  auto cp = compileSource(source, diags);
+  ASSERT_TRUE(cp) << diags.dump();
+  EXPECT_EQ(cold.get("signature").asString(), planSignature(*cp));
+  EXPECT_EQ(cold.get("report").asString(), renderPlanReport(*cp));
+  EXPECT_EQ(cold.get("source_hash").asString(),
+            hashHex(contentHash64(source)));
+
+  // emit is cached independently of report for the same source.
+  req.cmd = "emit";
+  JsonValue em_cold = dispatch(d, req);
+  ASSERT_TRUE(em_cold.get("ok").asBool());
+  JsonValue em_warm = dispatch(d, req);
+  EXPECT_TRUE(em_warm.get("cached").asBool());
+  EXPECT_EQ(em_warm.get("emit").asString(), em_cold.get("emit").asString());
+
+  EXPECT_GE(d.stats().warm_hits.load(), 2u);
+}
+
+TEST(Server, WarmServiceSurvivesRestartViaSnapshot) {
+  TempDir dir;
+  ServerOptions opts = testOptions(dir, "r.sock");
+  std::string source = corpusSource(1);
+  Request req;
+  req.cmd = "report";
+  req.source = source;
+
+  std::string cold_report, cold_sig;
+  {
+    MfcDaemon d(opts);
+    JsonValue cold = dispatch(d, req);
+    ASSERT_TRUE(cold.get("ok").asBool());
+    cold_report = cold.get("report").asString();
+    cold_sig = cold.get("signature").asString();
+    // flush_every=1 => already snapshotted; no explicit flush needed.
+  }
+  MfcDaemon d2(opts);
+  ASSERT_TRUE(d2.store().open());
+  JsonValue warm = dispatch(d2, req);
+  ASSERT_TRUE(warm.get("ok").asBool());
+  EXPECT_TRUE(warm.get("cached").asBool());
+  EXPECT_EQ(warm.get("report").asString(), cold_report);
+  EXPECT_EQ(warm.get("signature").asString(), cold_sig);
+  EXPECT_EQ(d2.stats().cold_analyses.load(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Degradation contract: budget-starved requests degrade soundly,
+// deterministically equal to a cold in-process run, and are not stored.
+
+TEST(Server, StarvedRequestDegradesAndIsNeverPersisted) {
+  TempDir dir;
+  MfcDaemon d(testOptions(dir, "s.sock"));
+  std::string source = corpusSource(0);
+
+  // FM-step starvation is deterministic (unlike wall-clock deadlines),
+  // so the daemon's degraded plans must be byte-identical to an
+  // in-process compile under the same limits.
+  Request req;
+  req.cmd = "report";
+  req.source = source;
+  req.fm_steps = 1;
+  JsonValue v = dispatch(d, req);
+  ASSERT_TRUE(v.get("ok").asBool());
+  EXPECT_TRUE(v.get("governed").asBool());
+  EXPECT_GT(v.get("degraded").asNumber(), 0.0);
+
+  BudgetLimits limits = BudgetLimits::defaults();
+  limits.max_fm_steps = 1;
+  DiagEngine diags;
+  auto cp = compileSource(source, diags, limits);
+  ASSERT_TRUE(cp) << diags.dump();
+  EXPECT_EQ(v.get("signature").asString(), planSignature(*cp));
+  EXPECT_EQ(v.get("report").asString(), renderPlanReport(*cp));
+
+  // Nothing reached the store: governed results must never be served
+  // warm (they are sound but weaker than an ungoverned run's).
+  EXPECT_EQ(d.store().recordCount(), 0u);
+  JsonValue again = dispatch(d, req);
+  EXPECT_FALSE(again.get("cached").asBool());
+  EXPECT_EQ(d.stats().warm_hits.load(), 0u);
+  EXPECT_EQ(d.stats().degraded_requests.load(), 2u);
+
+  // An ungoverned request afterwards is a fresh cold analysis with full
+  // (non-degraded) plans — starved runs did not poison anything.
+  Request full;
+  full.cmd = "report";
+  full.source = source;
+  JsonValue f = dispatch(d, full);
+  ASSERT_TRUE(f.get("ok").asBool());
+  EXPECT_FALSE(f.get("cached").asBool());
+  EXPECT_EQ(f.get("degraded").asNumber(), 0.0);
+  DiagEngine diags2;
+  auto ref = compileSource(source, diags2);
+  ASSERT_TRUE(ref);
+  EXPECT_EQ(f.get("signature").asString(), planSignature(*ref));
+}
+
+// ---------------------------------------------------------------------
+// Crash recovery: corrupt snapshot => quarantine at startup, cold
+// service, clean snapshot after the next flush.
+
+TEST(Server, CorruptSnapshotQuarantinedThenWarmAfterReanalysis) {
+  TempDir dir;
+  ServerOptions opts = testOptions(dir, "q.sock");
+  std::string source = corpusSource(2);
+  Request req;
+  req.cmd = "report";
+  req.source = source;
+
+  std::string snap;
+  std::string cold_sig;
+  {
+    MfcDaemon d(opts);
+    JsonValue cold = dispatch(d, req);
+    ASSERT_TRUE(cold.get("ok").asBool());
+    cold_sig = cold.get("signature").asString();
+    snap = d.store().snapshotPath();
+  }
+  // Simulate a kill -9 mid-write landing a torn file at the live name
+  // (the atomic-rename path makes this impossible for save(); emulate
+  // an external corruption such as a disk error).
+  {
+    std::ifstream in(snap, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string bytes = ss.str();
+    ASSERT_FALSE(bytes.empty());
+    std::ofstream out(snap, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 3));
+  }
+
+  MfcDaemon d(opts);
+  EXPECT_FALSE(d.store().open());
+  JsonValue st = dispatch(d, std::string("{\"cmd\":\"status\"}"));
+  EXPECT_EQ(st.get("store").get("quarantined").asNumber(), 1.0);
+  EXPECT_EQ(st.get("store").get("loaded").asBool(), false);
+  EXPECT_TRUE(st.get("store").has("load_error"));
+
+  // Cold re-analysis produces the exact same plans...
+  JsonValue cold = dispatch(d, req);
+  ASSERT_TRUE(cold.get("ok").asBool());
+  EXPECT_FALSE(cold.get("cached").asBool());
+  EXPECT_EQ(cold.get("signature").asString(), cold_sig);
+  // ...and (flush_every=1) the snapshot is already clean again.
+  JsonValue warm = dispatch(d, req);
+  EXPECT_TRUE(warm.get("cached").asBool());
+  EXPECT_EQ(warm.get("signature").asString(), cold_sig);
+
+  struct stat s;
+  EXPECT_EQ(::stat(snap.c_str(), &s), 0);
+  EXPECT_EQ(::stat((snap + ".quarantine-1").c_str(), &s), 0);
+}
+
+// ---------------------------------------------------------------------
+// Real sockets.
+
+TEST(Server, SocketRoundTripAndDrain) {
+  TempDir dir;
+  ServerOptions opts = testOptions(dir, "d.sock");
+  MfcDaemon d(opts);
+  std::string err;
+  ASSERT_TRUE(d.start(err)) << err;
+
+  JsonValue v;
+  ASSERT_TRUE(server::daemonCall(opts.socket_path, simpleReq("ping"), v, err))
+      << err;
+  EXPECT_TRUE(v.get("ok").asBool());
+
+  Request req;
+  req.cmd = "report";
+  req.source = corpusSource(3);
+  ASSERT_TRUE(server::daemonCall(opts.socket_path, req, v, err)) << err;
+  ASSERT_TRUE(v.get("ok").asBool());
+  DiagEngine diags;
+  auto cp = compileSource(req.source, diags);
+  ASSERT_TRUE(cp);
+  EXPECT_EQ(v.get("report").asString(), renderPlanReport(*cp));
+
+  // A second daemon must refuse to steal the live socket.
+  MfcDaemon d2(opts);
+  std::string err2;
+  EXPECT_FALSE(d2.start(err2));
+  EXPECT_FALSE(err2.empty());
+
+  // shutdown over the wire drains and flushes.
+  ASSERT_TRUE(
+      server::daemonCall(opts.socket_path, simpleReq("shutdown"), v, err))
+      << err;
+  EXPECT_TRUE(v.get("stopping").asBool());
+  EXPECT_EQ(d.wait(), 0);
+  struct stat s;
+  EXPECT_NE(::stat(opts.socket_path.c_str(), &s), 0) << "socket not unlinked";
+  EXPECT_EQ(::stat((opts.store_dir + "/summary.snap").c_str(), &s), 0)
+      << "drain did not flush the store";
+
+  // With the socket gone (stale path unlinked), a new daemon can bind.
+  std::string err3;
+  ASSERT_TRUE(d2.start(err3)) << err3;
+  d2.requestStop();
+  EXPECT_EQ(d2.wait(), 0);
+}
+
+TEST(Server, OversizedRequestsAreRejectedNotBuffered) {
+  TempDir dir;
+  ServerOptions opts = testOptions(dir, "big.sock");
+  opts.max_request_bytes = 1024;
+  MfcDaemon d(opts);
+  std::string err;
+  ASSERT_TRUE(d.start(err)) << err;
+
+  std::string huge = "{\"cmd\":\"report\",\"source\":\"" +
+                     std::string(4096, 'x') + "\"}";
+  std::string line;
+  ASSERT_TRUE(server::daemonRoundTrip(opts.socket_path, huge, line, err))
+      << err;
+  JsonValue v;
+  ASSERT_TRUE(parseJson(line, v, err)) << err;
+  EXPECT_FALSE(v.get("ok").asBool());
+  EXPECT_EQ(v.get("error").asString(), "request-too-large");
+
+  d.requestStop();
+  EXPECT_EQ(d.wait(), 0);
+}
+
+TEST(Server, FullQueueShedsWithOverloadedResponse) {
+  TempDir dir;
+  ServerOptions opts = testOptions(dir, "o.sock");
+  opts.workers = 1;
+  opts.queue_limit = 1;
+  MfcDaemon d(opts);
+  std::string err;
+  ASSERT_TRUE(d.start(err)) << err;
+
+  // Stall the single worker, then fill the queue of 1; every further
+  // request must be shed *immediately* with `overloaded` (not block).
+  auto stall = [&](int ms) {
+    return std::thread([&, ms] {
+      Request r;
+      r.cmd = "sleep";
+      r.sleep_ms = ms;
+      JsonValue resp;
+      std::string e;
+      server::daemonCall(opts.socket_path, r, resp, e);
+    });
+  };
+  std::thread t1 = stall(1500);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  std::thread t2 = stall(1500);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  int shed_seen = 0;
+  for (int i = 0; i < 3; ++i) {
+    JsonValue v;
+    std::string e;
+    ASSERT_TRUE(server::daemonCall(opts.socket_path, simpleReq("ping"), v, e))
+        << e;
+    if (!v.get("ok").asBool() &&
+        v.get("error").asString() == "overloaded")
+      ++shed_seen;
+  }
+  EXPECT_GE(shed_seen, 1) << "full queue never shed";
+  t1.join();
+  t2.join();
+
+  // After the stalls drain, service resumes normally.
+  JsonValue v;
+  ASSERT_TRUE(server::daemonCall(opts.socket_path, simpleReq("ping"), v, err))
+      << err;
+  EXPECT_TRUE(v.get("ok").asBool());
+  EXPECT_GE(d.stats().shed.load(), 1u);
+
+  d.requestStop();
+  EXPECT_EQ(d.wait(), 0);
+}
+
+}  // namespace
+}  // namespace padfa
