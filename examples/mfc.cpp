@@ -7,7 +7,9 @@
 //   mfc lint    <file.mf|corpus:NAME>        run the MF-lint checker battery
 //   mfc audit   <file.mf|corpus:NAME>        re-verify plans (PlanAuditor)
 //   mfc race    <file.mf|corpus:NAME>        dynamic race oracle over a run
-//   mfc deps    <file.mf|corpus:NAME>        export the PDG (DOT; --json)
+//   mfc deps    <file.mf|corpus:NAME>        export the PDG (DOT; --json);
+//               --callgraph exports the interprocedural call graph with
+//               SCC clusters and content fingerprints instead
 //   mfc slice   <file.mf|corpus:NAME> <line>:<var>   backward program slice
 //   mfc certify <file.mf|corpus:NAME>        PDG vs plans vs auditor
 //   mfc list                                 list corpus programs
@@ -47,6 +49,7 @@
 #include "corpus/corpus.h"
 #include "driver/padfa.h"
 #include "driver/plan_signature.h"
+#include "ipa/ipa_export.h"
 #include "pdg/certify.h"
 #include "pdg/pdg.h"
 #include "pdg/slice.h"
@@ -69,14 +72,15 @@ int usage() {
       "  lint    <file.mf|corpus:NAME>            MF-lint checker battery\n"
       "  audit   <file.mf|corpus:NAME>            plan-soundness auditor\n"
       "  race    <file.mf|corpus:NAME>            dynamic race oracle\n"
-      "  deps    <file.mf|corpus:NAME>            PDG export (DOT; --json)\n"
+      "  deps    <file.mf|corpus:NAME>            PDG export (DOT; --json);"
+      " --callgraph for the call graph\n"
       "  slice   <file.mf|corpus:NAME> <line>:<var>  backward slice\n"
       "  certify <file.mf|corpus:NAME>            PDG vs plans vs auditor\n"
       "  list                                     list corpus programs\n"
       "  serve                                    run the mfcd daemon\n"
       "  daemon <status|ping|flush|stop>          control a running mfcd\n"
       "flags: --lint --audit --race-check --only=<ids> -Werror[=<ids>] "
-      "--json --daemon --socket=<path>\n");
+      "--json --callgraph --daemon --socket=<path>\n");
   return 2;
 }
 
@@ -150,6 +154,7 @@ struct Cli {
   bool audit = false;
   bool race = false;
   bool json = false;
+  bool callgraph = false;  // deps only: call graph instead of PDG
   bool werror = false;
   bool daemon = false;           // route report/emit through mfcd
   std::string socket;            // --socket override for daemon mode
@@ -274,8 +279,19 @@ int raceCheck(const CompiledProgram& cp) {
   return oracle.violationCount() > 0 ? 1 : 0;
 }
 
-/// Export the program dependence graph (DOT to stdout; --json for JSON).
+/// Export the program dependence graph (DOT to stdout; --json for JSON),
+/// or with --callgraph the interprocedural call graph.
 int deps(const CompiledProgram& cp, const Cli& cli) {
+  if (cli.callgraph) {
+    ipa::CallGraph cg = ipa::CallGraph::build(*cp.program);
+    ipa::ProcFingerprints fps = ipa::fingerprintProgram(*cp.program, cg);
+    std::string out = cli.json ? ipa::callGraphToJson(cg, fps, *cp.program)
+                               : ipa::callGraphToDot(cg, fps, *cp.program);
+    std::fputs(out.c_str(), stdout);
+    std::fprintf(stderr, "callgraph: %zu proc(s), %zu scc(s)\n",
+                 cg.procs().size(), cg.sccCount());
+    return 0;
+  }
   ProgramPdg pdg = buildPdg(*cp.program, cp.loops);
   std::string out = cli.json ? pdgToJson(pdg, *cp.program)
                              : pdgToDot(pdg, *cp.program);
@@ -453,6 +469,7 @@ int main(int argc, char** argv) {
     else if (a == "--audit") cli.audit = true;
     else if (a == "--race-check") cli.race = true;
     else if (a == "--json") cli.json = true;
+    else if (a == "--callgraph") cli.callgraph = true;
     else if (a == "--daemon") cli.daemon = true;
     else if (a.rfind("--socket=", 0) == 0) cli.socket = a.substr(9);
     else if (a == "-Werror") cli.werror = true;

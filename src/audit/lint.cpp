@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "ipa/callgraph.h"
 #include "pdg/cfg.h"
 #include "pdg/reaching.h"
 #include "predicate/pred.h"
@@ -594,6 +595,28 @@ class ContextWalker {
   std::map<const VarDecl*, pb::Set> written_;
 };
 
+/// padfa-dead-proc: a procedure unreachable from the entry procedure
+/// through call edges. Whole-program view: MF programs are closed (no
+/// external linkage), so an unreachable procedure is dead weight — and,
+/// for the incremental engine, a change to it can never invalidate a
+/// live plan. Entry is the procedure named "main"; programs without one
+/// (library-style corpora driven by tests) are skipped entirely rather
+/// than flagging everything.
+void checkDeadProcs(const Program& program, DiagEngine& diags) {
+  const ProcDecl* entry = program.findProc("main");
+  if (!entry) return;
+  ipa::CallGraph cg = ipa::CallGraph::build(program);
+  std::set<const ProcDecl*> live = cg.reachableFrom(entry);
+  for (const auto& proc : program.procs) {
+    if (live.count(proc.get())) continue;
+    diags.warning(proc->loc,
+                  "procedure '" +
+                      std::string(program.interner.str(proc->name)) +
+                      "' is unreachable from 'main'",
+                  "padfa-dead-proc");
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& lintCheckerIds() {
@@ -601,7 +624,7 @@ const std::vector<std::string>& lintCheckerIds() {
       "padfa-oob",           "padfa-uninit-read",
       "padfa-dead-store",    "padfa-unused",
       "padfa-loop-never-runs", "padfa-loop-single-trip",
-      "padfa-shadow",
+      "padfa-shadow",        "padfa-dead-proc",
   };
   return ids;
 }
@@ -611,6 +634,7 @@ void runLint(const Program& program, const LoopTree& loops,
   if (wanted(options, "padfa-unused") || wanted(options, "padfa-dead-store"))
     checkUnusedAndDeadStores(program, diags, options);
   if (wanted(options, "padfa-shadow")) checkShadowing(program, diags);
+  if (wanted(options, "padfa-dead-proc")) checkDeadProcs(program, diags);
   if (wanted(options, "padfa-loop-never-runs") ||
       wanted(options, "padfa-loop-single-trip"))
     checkLoopTrips(loops, diags, options);

@@ -13,6 +13,8 @@
 //   padfa-loop-never-runs  constant loop bounds exclude every iteration
 //   padfa-loop-single-trip constant loop bounds admit exactly one trip
 //   padfa-shadow           declaration shadows an outer binding
+//   padfa-dead-proc        procedure unreachable from `main` through
+//                          call edges (whole-program call graph)
 //
 // Philosophy: a warning must mean a bug with high probability. Checkers
 // only fire on *provable* facts (infeasibility in the affine domain,

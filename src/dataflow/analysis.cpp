@@ -52,24 +52,52 @@ class Analyzer {
 
     for (ProcDecl* proc : bottomUpProcOrder(program_)) {
       cur_proc_ = proc;
-      if (degrade_rest_) {
-        // A budget already gave out: stop spending work on analysis and
-        // summarize every remaining procedure conservatively.
-        proc_summaries_[proc] = conservativeProcSummary(*proc);
-      } else {
-        try {
-          computeAliases(*proc);
-          RegionSummary s = analyzeBlock(*proc->body);
-          finalizeProcSummary(*proc, s);
+      // Incremental replay: an unchanged procedure's finalized summary is
+      // loaded from the store instead of recomputed. The load callback
+      // recreates the summary's VarIds in vt_ in cold-run order, so the
+      // ids handed to later (re-analyzed) procedures line up with a cold
+      // run of the same source. Replayed procedures get no plans here —
+      // the incremental driver merges the persisted plans — so
+      // degradeUnplannedLoops must not touch their loops.
+      bool replayed = false;
+      if (!degrade_rest_ && cfg_.preload && cfg_.preload->replay.count(proc)) {
+        RegionSummary s;
+        if (cfg_.preload->load(proc, vt_, s)) {
           proc_summaries_[proc] = std::move(s);
-        } catch (const BudgetExceeded& e) {
-          recordExhaustion(e);
+          if (cfg_.preload->replayed) cfg_.preload->replayed->insert(proc);
+          replayed = true;
+        }
+      }
+      if (!replayed) {
+        if (degrade_rest_) {
+          // A budget already gave out: stop spending work on analysis and
+          // summarize every remaining procedure conservatively.
           proc_summaries_[proc] = conservativeProcSummary(*proc);
+        } else {
+          try {
+            computeAliases(*proc);
+            RegionSummary s = analyzeBlock(*proc->body);
+            finalizeProcSummary(*proc, s);
+            proc_summaries_[proc] = std::move(s);
+          } catch (const BudgetExceeded& e) {
+            recordExhaustion(e);
+            proc_summaries_[proc] = conservativeProcSummary(*proc);
+          }
         }
       }
       if (proc_summaries_[proc].has_sink) tree_sink_.insert(proc);
       // Loops skipped by a conservative fallback get degraded plans.
-      degradeUnplannedLoops(*proc->body);
+      if (!replayed) degradeUnplannedLoops(*proc->body);
+    }
+
+    if (cfg_.export_summaries) {
+      result_.proc_summaries = std::move(proc_summaries_);
+      result_.vars.decls.resize(vt_.size());
+      for (pb::VarId v = 0; v < vt_.size(); ++v) {
+        result_.vars.decls[v] = vt_.isDim(v) ? nullptr : vt_.declOf(v);
+        if (const pb::LinExpr* a = vt_.aliasOf(v))
+          result_.vars.aliases[v] = *a;
+      }
     }
 
     result_.degraded_globally = budget.exhaustedGlobally();
@@ -472,6 +500,9 @@ class Analyzer {
     for (size_t i = 0; i < s.args.size(); ++i) {
       if (!params[i]->isArray()) collectReads(*s.args[i], out);
     }
+    // Summary-dependence relation: this procedure's analysis consumes the
+    // callee's summary (change-impact analysis invalidates accordingly).
+    result_.summary_deps[cur_proc_].insert(s.callee_proc);
     translateCallee(*s.callee_proc, s, out);
     if (tree_sink_.count(s.callee_proc)) out.has_sink = true;
     return out;

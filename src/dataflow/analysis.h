@@ -7,7 +7,9 @@
 // only, no run-time tests) benchmarked in bench/.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <set>
 
 #include "dataflow/loop_plan.h"
 #include "dataflow/summary.h"
@@ -16,6 +18,22 @@
 #include "support/fault_injection.h"
 
 namespace padfa {
+
+/// Replay hook for incremental re-analysis (ipa/incremental.h). When
+/// installed, a procedure in `replay` is not analyzed: its finalized
+/// summary comes from `load`, which must recreate the summary's VarIds in
+/// the analyzer's VarTable in cold-run creation order (the deep codec's
+/// variable preamble does this). Loops of a successfully replayed
+/// procedure receive no plans from the analyzer — the caller merges the
+/// persisted plans afterwards. A `load` failure falls back to full
+/// analysis of that procedure, so replay is never load-bearing for
+/// soundness, only for speed.
+struct SummaryPreload {
+  std::set<const ProcDecl*> replay;
+  std::function<bool(const ProcDecl*, VarTable&, RegionSummary&)> load;
+  /// Out-param: the procedures whose summaries actually replayed.
+  std::set<const ProcDecl*>* replayed = nullptr;
+};
 
 struct AnalysisConfig {
   /// Attach branch predicates to data-flow values (Section 4).
@@ -42,6 +60,15 @@ struct AnalysisConfig {
   /// Optional fault injector forcing synthetic exhaustion at probe points
   /// (testing only; when null, PADFA_FAULT_RATE can configure one).
   FaultInjector* injector = nullptr;
+
+  /// Optional summary-replay hook (see SummaryPreload). Not owned; must
+  /// outlive the analyzeProgram() call.
+  const SummaryPreload* preload = nullptr;
+  /// Export finalized per-procedure summaries and the VarTable view into
+  /// AnalysisResult (proc_summaries/vars) so the store can serialize
+  /// them. Off by default: the export copies nothing but keeps the
+  /// summaries alive past the analysis.
+  bool export_summaries = false;
 
   static AnalysisConfig baseline() {
     return {false, false, false, false, false};

@@ -3,9 +3,11 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "dataflow/summary.h"
 #include "lang/ast.h"
 #include "predicate/pred.h"
 
@@ -71,11 +73,34 @@ struct LoopPlan {
   bool priv_used = false;         // privatization was required
 };
 
+/// VarId-indexed view of the analyzer's VarTable, exported for the deep
+/// summary codec (store/deep_codec.h) when
+/// AnalysisConfig::export_summaries is set.
+struct ExportedVarTable {
+  /// VarId -> program decl; null for subscript dims and synthetic vars.
+  std::vector<const VarDecl*> decls;
+  /// Forward-substitution aliases installed during the analysis
+  /// (VarTable::setAlias), needed to reproduce affine reasoning over a
+  /// replayed procedure's guards in its callers.
+  std::map<pb::VarId, pb::LinExpr> aliases;
+};
+
 /// Results of analyzing a whole program.
 struct AnalysisResult {
   std::map<const ForStmt*, LoopPlan> plans;
   /// Wall-clock cost of the analysis itself (Experiment E6).
   double analysis_seconds = 0;
+
+  /// Which callee summaries each procedure's analysis consumed (one entry
+  /// per non-sink call target, deduplicated). Always recorded — it is a
+  /// set insert per call statement — and consumed by the ipa layer
+  /// (change-impact consistency checks, `mfc deps --callgraph`).
+  std::map<const ProcDecl*, std::set<const ProcDecl*>> summary_deps;
+
+  /// Finalized per-procedure summaries + the VarTable view needed to
+  /// serialize them; filled only when AnalysisConfig::export_summaries.
+  std::map<const ProcDecl*, RegionSummary> proc_summaries;
+  ExportedVarTable vars;
 
   // --- degradation telemetry (resource governance) ---
   /// Exhaustion causes observed during this analysis, with counts.

@@ -1,0 +1,59 @@
+#include "ipa/fingerprint.h"
+
+#include <algorithm>
+
+#include "codegen/mf_printer.h"
+#include "support/hash.h"
+
+namespace padfa::ipa {
+
+std::string canonicalProcText(const Program& program, const ProcDecl& proc) {
+  // Mirrors printProgram()'s per-procedure chunk exactly, so
+  // hash(canonicalProcText) over all procs == hash of printProgram pieces.
+  const Interner& in = program.interner;
+  std::string out = "proc " + std::string(in.str(proc.name)) + "(";
+  for (size_t i = 0; i < proc.params.size(); ++i) {
+    if (i) out += ", ";
+    const VarDecl& d = *proc.params[i];
+    out += std::string(typeName(d.elem_type)) + " " +
+           std::string(in.str(d.name));
+    if (d.isArray()) {
+      out += '[';
+      for (size_t j = 0; j < d.dims.size(); ++j) {
+        if (j) out += ", ";
+        out += exprToString(*d.dims[j], in);
+      }
+      out += ']';
+    }
+  }
+  out += ") {\n";
+  out += printBlock(*proc.body, in, "  ");
+  out += "}\n";
+  return out;
+}
+
+ProcFingerprints fingerprintProgram(const Program& program,
+                                    const CallGraph& cg) {
+  ProcFingerprints fp;
+  for (const auto& proc : program.procs)
+    fp.local[proc.get()] =
+        contentHash64(canonicalProcText(program, *proc));
+  for (const auto& proc : program.procs) {
+    std::vector<std::pair<std::string, uint64_t>> closure;
+    for (const ProcDecl* r : cg.reachableFrom(proc.get()))
+      closure.emplace_back(std::string(program.interner.str(r->name)),
+                           fp.local.at(r));
+    std::sort(closure.begin(), closure.end());
+    std::string blob;
+    for (const auto& [name, h] : closure) {
+      blob += name;
+      blob += '=';
+      blob += hashHex(h);
+      blob += ';';
+    }
+    fp.deep[proc.get()] = contentHash64(blob);
+  }
+  return fp;
+}
+
+}  // namespace padfa::ipa

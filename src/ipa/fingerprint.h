@@ -1,0 +1,46 @@
+// Per-procedure content fingerprints for change-impact analysis.
+//
+// The *local* fingerprint of a procedure is the FNV-1a hash of its
+// canonical text: the exact per-procedure chunk the MF pretty-printer
+// emits (codegen/mf_printer.h). That rendering is produced from the AST,
+// so comments, whitespace, and source locations are erased; and because
+// MF hoists block declarations to block entry (ast.h BlockStmt), moving
+// a declaration around inside its block is a semantic no-op and the
+// canonical text — which always prints declarations first — is
+// unchanged too. Two procedures with equal local fingerprints therefore
+// analyze identically *given identical callee summaries*.
+//
+// The *deep* fingerprint closes over callees: it hashes the sorted
+// (name, local fingerprint) pairs of the procedure's reachable closure
+// in the call graph (including itself). Deep-keyed store records are
+// automatically invalidated for every transitive caller of an edited
+// procedure — the dirty-ancestor closure falls out of key misses, no
+// explicit invalidation pass needed — and, being source-position
+// independent, can be shared across different sources that contain the
+// same procedure subtree.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ipa/callgraph.h"
+#include "lang/ast.h"
+
+namespace padfa::ipa {
+
+struct ProcFingerprints {
+  /// Hash of the procedure's canonical text.
+  std::map<const ProcDecl*, uint64_t> local;
+  /// Hash over the reachable closure's (name, local) pairs.
+  std::map<const ProcDecl*, uint64_t> deep;
+};
+
+/// The canonical per-procedure text (the mf_printer chunk):
+/// "proc name(params) {\n<body>}\n".
+std::string canonicalProcText(const Program& program, const ProcDecl& proc);
+
+ProcFingerprints fingerprintProgram(const Program& program,
+                                    const CallGraph& cg);
+
+}  // namespace padfa::ipa

@@ -1,0 +1,112 @@
+#include "ipa/ipa_export.h"
+
+#include <sstream>
+
+#include "support/hash.h"
+
+namespace padfa::ipa {
+
+namespace {
+
+std::string escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string nameOf(const Program& program, const ProcDecl* p) {
+  return std::string(program.interner.str(p->name));
+}
+
+}  // namespace
+
+std::string callGraphToDot(const CallGraph& cg, const ProcFingerprints& fps,
+                           const Program& program) {
+  std::ostringstream os;
+  os << "digraph callgraph {\n"
+     << "  rankdir=TB;\n"
+     << "  node [shape=box, fontsize=10];\n";
+  for (size_t scc = 0; scc < cg.sccCount(); ++scc) {
+    const auto& members = cg.sccMembers(scc);
+    os << "  subgraph cluster_scc" << scc << " {\n"
+       << "    label=\"scc " << scc
+       << (members.size() > 1 ? " (cycle)" : "") << "\";\n";
+    for (const ProcDecl* p : members) {
+      std::string name = nameOf(program, p);
+      os << "    \"" << escaped(name) << "\" [label=\"" << escaped(name)
+         << "\\nfp " << hashHex(fps.local.at(p)) << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  for (const ProcDecl* caller : cg.procs()) {
+    for (const ProcDecl* callee : cg.callees(caller)) {
+      os << "  \"" << escaped(nameOf(program, caller)) << "\" -> \""
+         << escaped(nameOf(program, callee)) << "\"";
+      size_t sites = cg.callSites(caller, callee);
+      if (sites > 1) os << " [label=\"x" << sites << "\"]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string callGraphToJson(const CallGraph& cg, const ProcFingerprints& fps,
+                            const Program& program) {
+  std::ostringstream os;
+  os << "{\n  \"procs\": [\n";
+  const auto& procs = cg.procs();
+  for (size_t i = 0; i < procs.size(); ++i) {
+    const ProcDecl* p = procs[i];
+    os << "    {\"name\": \"" << escaped(nameOf(program, p))
+       << "\", \"scc\": " << cg.sccOf(p) << ", \"local_fp\": \""
+       << hashHex(fps.local.at(p)) << "\", \"deep_fp\": \""
+       << hashHex(fps.deep.at(p)) << "\", \"callees\": [";
+    const auto& callees = cg.callees(p);
+    for (size_t j = 0; j < callees.size(); ++j) {
+      os << (j ? ", " : "") << "{\"name\": \""
+         << escaped(nameOf(program, callees[j])) << "\", \"sites\": "
+         << cg.callSites(p, callees[j]) << "}";
+    }
+    os << "], \"callers\": [";
+    const auto& callers = cg.callers(p);
+    for (size_t j = 0; j < callers.size(); ++j)
+      os << (j ? ", " : "") << "\""
+         << escaped(nameOf(program, callers[j])) << "\"";
+    os << "]}" << (i + 1 < procs.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"sccs\": [\n";
+  for (size_t scc = 0; scc < cg.sccCount(); ++scc) {
+    const auto& members = cg.sccMembers(scc);
+    os << "    [";
+    for (size_t j = 0; j < members.size(); ++j)
+      os << (j ? ", " : "") << "\""
+         << escaped(nameOf(program, members[j])) << "\"";
+    os << "]" << (scc + 1 < cg.sccCount() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"bottom_up\": [";
+  auto order = cg.bottomUpOrder();
+  for (size_t i = 0; i < order.size(); ++i)
+    os << (i ? ", " : "") << "\"" << escaped(nameOf(program, order[i]))
+       << "\"";
+  os << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace padfa::ipa

@@ -1,0 +1,27 @@
+// Deterministic DOT and JSON renderings of the interprocedural call
+// graph (`mfc deps --callgraph`), following the PDG exporter's
+// conventions (pdg/pdg_export.cpp): nodes are identified by procedure
+// name, SCCs become clusters, and nothing pointer- or hash-order
+// dependent reaches the output, so byte-identical output across runs is
+// the contract.
+#pragma once
+
+#include <string>
+
+#include "ipa/callgraph.h"
+#include "ipa/fingerprint.h"
+
+namespace padfa::ipa {
+
+/// DOT: one cluster per SCC (bottom-up SCC ids), node labels carry the
+/// local content fingerprint, edge labels the call-site count.
+std::string callGraphToDot(const CallGraph& cg, const ProcFingerprints& fps,
+                           const Program& program);
+
+/// JSON: per procedure — name, SCC id, local/deep fingerprints, callees
+/// and callers (program order) with call-site counts — plus the SCC
+/// member lists and a bottom-up order array.
+std::string callGraphToJson(const CallGraph& cg, const ProcFingerprints& fps,
+                            const Program& program);
+
+}  // namespace padfa::ipa

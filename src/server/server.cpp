@@ -16,6 +16,7 @@
 #include "corpus/corpus.h"
 #include "driver/padfa.h"
 #include "driver/plan_signature.h"
+#include "ipa/incremental.h"
 #include "support/hash.h"
 #include "support/perf_stats.h"
 
@@ -458,9 +459,18 @@ JsonValue MfcDaemon::handleAnalysis(const Request& r) {
     }
   }
 
-  // Cold path: full analysis under the per-request budget.
+  // Cold path — made as warm as possible: on a whole-source warm miss
+  // the incremental engine still replays every procedure whose deep
+  // fingerprint (canonical text + callee closure) is in the store, so an
+  // edit re-analyzes only the change-impact set. Under a governed budget
+  // or disabled caches this transparently degenerates to a plain cold
+  // compile (compileSourceIncremental enforces the same guard).
   DiagEngine diags;
-  auto cp = compileSource(source, diags, limits);
+  ipa::IncrementalInfo inc;
+  auto cp = cacheable
+                ? ipa::compileSourceIncremental(source, diags, limits,
+                                                *store_, &inc)
+                : compileSource(source, diags, limits);
   if (!cp) {
     JsonValue e = errorResponse("compile-error", "source does not compile");
     e.set("diagnostics",
@@ -495,6 +505,12 @@ JsonValue MfcDaemon::handleAnalysis(const Request& r) {
   v.set("degraded", JsonValue::of(static_cast<int64_t>(degraded)));
   v.set("governed", JsonValue::of(governed));
   v.set("signature", JsonValue::of(signature));
+  if (inc.incremental) {
+    v.set("procs_analyzed",
+          JsonValue::of(static_cast<int64_t>(inc.procs_analyzed)));
+    v.set("procs_replayed",
+          JsonValue::of(static_cast<int64_t>(inc.procs_replayed)));
+  }
   if (r.cmd != "analyze") v.set(r.cmd, JsonValue::of(payload));
   return v;
 }
@@ -538,6 +554,8 @@ JsonValue MfcDaemon::statusJson() {
   v.set("store", sv);
 
   v.set("cache", perfStatsToJson(PerfStats::instance()));
+  v.set("incremental",
+        incrementalCountersToJson(PerfStats::instance().incremental));
   return v;
 }
 

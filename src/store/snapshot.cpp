@@ -115,6 +115,13 @@ std::string encodeSnapshot(const StoreData& data) {
     payload += body;
     appendRecord(out, kResponseRecord, payload);
   }
+  for (const auto& [key, body] : data.deep_procs) {
+    std::string payload;
+    putU64(payload, key.first);
+    payload += static_cast<char>(key.second);
+    payload += body;
+    appendRecord(out, kDeepProcRecord, payload);
+  }
   appendRecord(out, kEndRecord, "");
   return out;
 }
@@ -208,6 +215,20 @@ bool decodeSnapshot(std::string_view bytes, StoreData& out, std::string& err) {
         auto key = std::make_pair(hash, std::string(kind));
         if (!out.responses.emplace(std::move(key), std::string(value)).second)
           return failDecode(out, err, "duplicate response record");
+        break;
+      }
+      case kDeepProcRecord: {
+        uint64_t fp = 0;
+        uint8_t kind = 0;
+        if (!body.u64(fp) || !body.u8(kind))
+          return failDecode(out, err, "short deep-proc record");
+        std::string_view value;
+        body.bytes(body.remaining(), value);
+        if (value.empty())
+          return failDecode(out, err, "empty deep-proc record");
+        auto key = std::make_pair(fp, kind);
+        if (!out.deep_procs.emplace(key, std::string(value)).second)
+          return failDecode(out, err, "duplicate deep-proc record");
         break;
       }
       case kEndRecord:

@@ -18,6 +18,9 @@
 //                               ++ plan-signature bytes
 //   0x03 Response     payload = src_hash u64 ++ kind_len u8 ++ kind
 //                               ++ response bytes
+//   0x04 DeepProc     payload = deep_fp u64 ++ kind u8
+//                               ++ deep-codec record bytes
+//                     (kind = analysis kind, store/deep_codec.h)
 //   0xEE End          payload empty
 //
 // decodeSnapshot() is the trust boundary between disk bytes and the
@@ -38,12 +41,15 @@
 namespace padfa::store {
 
 inline constexpr char kMagic[8] = {'P', 'A', 'D', 'F', 'A', 'S', 'N', 'P'};
-inline constexpr uint32_t kFormatVersion = 1;
+/// v2 added the DeepProc record (incremental re-analysis). A v1 snapshot
+/// is quarantined on load — an acceptable one-time cold start.
+inline constexpr uint32_t kFormatVersion = 2;
 
 enum RecordType : uint8_t {
   kFeasibilityRecord = 0x01,
   kProcPlanRecord = 0x02,
   kResponseRecord = 0x03,
+  kDeepProcRecord = 0x04,
   kEndRecord = 0xEE,
 };
 
@@ -60,17 +66,27 @@ struct StoreData {
   /// "procs" (newline-joined procedure names in program order),
   /// "telemetry" (signature trailer).
   std::map<std::pair<uint64_t, std::string>, std::string> responses;
+  /// (deep content fingerprint, analysis kind) -> deep-codec record bytes
+  /// (one procedure's serialized RegionSummary + LoopPlans; see
+  /// store/deep_codec.h). Keyed by the *deep* fingerprint — the hash of
+  /// the procedure's canonical text plus its full callee closure — so a
+  /// record can never be replayed against a program where any transitive
+  /// callee changed.
+  std::map<std::pair<uint64_t, uint8_t>, std::string> deep_procs;
 
   bool empty() const {
-    return feasibility.empty() && proc_plans.empty() && responses.empty();
+    return feasibility.empty() && proc_plans.empty() && responses.empty() &&
+           deep_procs.empty();
   }
   size_t recordCount() const {
-    return feasibility.size() + proc_plans.size() + responses.size();
+    return feasibility.size() + proc_plans.size() + responses.size() +
+           deep_procs.size();
   }
   void clear() {
     feasibility.clear();
     proc_plans.clear();
     responses.clear();
+    deep_procs.clear();
   }
 };
 

@@ -72,6 +72,7 @@ bool SummaryStore::open() {
     stats_.loaded_feasibility = data_.feasibility.size();
     stats_.loaded_plans = data_.proc_plans.size();
     stats_.loaded_responses = data_.responses.size();
+    stats_.loaded_deep = data_.deep_procs.size();
     return true;
   }
   // Quarantine: move the corrupt snapshot aside so the next save starts
@@ -132,6 +133,20 @@ std::optional<std::string> SummaryStore::getProcPlan(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = data_.proc_plans.find({src_hash, proc});
   if (it == data_.proc_plans.end()) return std::nullopt;
+  return it->second;
+}
+
+void SummaryStore::putDeepProc(uint64_t deep_fp, uint8_t kind,
+                               std::string bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.deep_procs[{deep_fp, kind}] = std::move(bytes);
+}
+
+std::optional<std::string> SummaryStore::getDeepProc(uint64_t deep_fp,
+                                                     uint8_t kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.deep_procs.find({deep_fp, kind});
+  if (it == data_.deep_procs.end()) return std::nullopt;
   return it->second;
 }
 

@@ -47,6 +47,7 @@ struct StoreStats {
   uint64_t loaded_feasibility = 0;
   uint64_t loaded_plans = 0;
   uint64_t loaded_responses = 0;
+  uint64_t loaded_deep = 0;  ///< deep per-procedure records in the snapshot
 };
 
 class SummaryStore {
@@ -73,6 +74,13 @@ class SummaryStore {
                    std::string signature);
   std::optional<std::string> getProcPlan(uint64_t src_hash,
                                          const std::string& proc) const;
+
+  // --- deep per-procedure records (incremental re-analysis) ---
+  // Keyed by (deep content fingerprint, analysis kind); the value is a
+  // deep-codec record (store/deep_codec.h).
+  void putDeepProc(uint64_t deep_fp, uint8_t kind, std::string bytes);
+  std::optional<std::string> getDeepProc(uint64_t deep_fp,
+                                         uint8_t kind) const;
 
   /// Reassemble the full plan signature for `src_hash` from the stored
   /// per-procedure slices ("procs" index + proc records + "telemetry"

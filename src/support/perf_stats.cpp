@@ -46,6 +46,26 @@ std::string PerfStats::report() const {
   appendLine(out, "implies", implies);
   appendLine(out, "simplify", simplify);
   appendLine(out, "summary", summary);
+  uint64_t runs = incremental.runs.load(std::memory_order_relaxed);
+  if (runs > 0) {
+    char buf[200];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  %-12s runs=%llu analyzed=%llu replayed=%llu fp-hits=%llu "
+        "fp-misses=%llu last-dirty=%llu\n",
+        "incremental", static_cast<unsigned long long>(runs),
+        static_cast<unsigned long long>(
+            incremental.procs_analyzed.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            incremental.procs_replayed.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            incremental.fingerprint_hits.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            incremental.fingerprint_misses.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            incremental.last_dirty_size.load(std::memory_order_relaxed)));
+    out += buf;
+  }
   return out;
 }
 
@@ -67,6 +87,21 @@ JsonValue perfStatsToJson(const PerfStats& stats) {
   v.set("implies", cacheStatsToJson(stats.implies));
   v.set("simplify", cacheStatsToJson(stats.simplify));
   v.set("summary", cacheStatsToJson(stats.summary));
+  return v;
+}
+
+JsonValue incrementalCountersToJson(const IncrementalCounters& c) {
+  JsonValue v = JsonValue::object();
+  auto put = [&v](const char* key, const std::atomic<uint64_t>& a) {
+    v.set(key, JsonValue::of(static_cast<int64_t>(
+                   a.load(std::memory_order_relaxed))));
+  };
+  put("runs", c.runs);
+  put("procs_analyzed", c.procs_analyzed);
+  put("procs_replayed", c.procs_replayed);
+  put("fingerprint_hits", c.fingerprint_hits);
+  put("fingerprint_misses", c.fingerprint_misses);
+  put("last_dirty_size", c.last_dirty_size);
   return v;
 }
 

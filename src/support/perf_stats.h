@@ -52,12 +52,35 @@ struct CacheStats {
   }
 };
 
+/// Counters for the incremental (change-impact) compile path
+/// (ipa/incremental.h). Totals accumulate across runs; last_dirty_size
+/// is overwritten per run so the daemon's `status` response can report
+/// how much of the program the most recent edit actually invalidated.
+struct IncrementalCounters {
+  std::atomic<uint64_t> runs{0};            ///< incremental compiles
+  std::atomic<uint64_t> procs_analyzed{0};  ///< dirty procedures re-analyzed
+  std::atomic<uint64_t> procs_replayed{0};  ///< procedures replayed from store
+  std::atomic<uint64_t> fingerprint_hits{0};    ///< deep-fp probes, hit
+  std::atomic<uint64_t> fingerprint_misses{0};  ///< deep-fp probes, miss
+  std::atomic<uint64_t> last_dirty_size{0};     ///< dirty set of latest run
+
+  void reset() {
+    runs.store(0, std::memory_order_relaxed);
+    procs_analyzed.store(0, std::memory_order_relaxed);
+    procs_replayed.store(0, std::memory_order_relaxed);
+    fingerprint_hits.store(0, std::memory_order_relaxed);
+    fingerprint_misses.store(0, std::memory_order_relaxed);
+    last_dirty_size.store(0, std::memory_order_relaxed);
+  }
+};
+
 /// The process-wide counter set, one CacheStats per engine cache.
 struct PerfStats {
   CacheStats feasibility;  ///< pb::System::feasible() memo
   CacheStats implies;      ///< Pred::implies pair memo
   CacheStats simplify;     ///< Pred::simplify memo
   CacheStats summary;      ///< translated callee-summary memo
+  IncrementalCounters incremental;  ///< change-impact replay path
 
   static PerfStats& instance();
 
@@ -66,6 +89,7 @@ struct PerfStats {
     implies.reset();
     simplify.reset();
     summary.reset();
+    incremental.reset();
   }
 
   /// One-line-per-cache human-readable dump for bench output.
@@ -80,6 +104,11 @@ JsonValue cacheStatsToJson(const CacheStats& s);
 /// Object keyed by cache name ("feasibility", "implies", "simplify",
 /// "summary"), each a cacheStatsToJson() entry.
 JsonValue perfStatsToJson(const PerfStats& stats);
+
+/// {"runs":..,"procs_analyzed":..,"procs_replayed":..,
+///  "fingerprint_hits":..,"fingerprint_misses":..,"last_dirty_size":..}
+/// — the mfcd `status` response's "incremental" object.
+JsonValue incrementalCountersToJson(const IncrementalCounters& c);
 
 /// Whether the memoization layer is active. Defaults to the environment
 /// (PADFA_NO_CACHE unset/empty => enabled); a setCachesEnabled() call

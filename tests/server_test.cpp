@@ -31,6 +31,7 @@
 #include "server/server.h"
 #include "store/summary_store.h"
 #include "support/hash.h"
+#include "support/perf_stats.h"
 
 namespace padfa {
 namespace {
@@ -308,6 +309,94 @@ TEST(Server, CorruptSnapshotQuarantinedThenWarmAfterReanalysis) {
   struct stat s;
   EXPECT_EQ(::stat(snap.c_str(), &s), 0);
   EXPECT_EQ(::stat((snap + ".quarantine-1").c_str(), &s), 0);
+}
+
+// ---------------------------------------------------------------------
+// Incremental serving: editing one procedure of a served source must
+// re-analyze only the change-impact set (the edited procedure plus its
+// transitive callers), replay the rest from the persisted deep
+// summaries, produce plans byte-identical to a cold in-process compile,
+// and surface all of that through the response fields and the daemon's
+// `status` incremental counters.
+
+TEST(Server, EditedSourceReplaysUnchangedProcsAndCountsIt) {
+  PerfStats::instance().resetAll();
+  TempDir dir;
+  MfcDaemon d(testOptions(dir, "i.sock"));
+
+  // `main` calls two independent leaves; editing `right` must leave
+  // `left` replayable.
+  auto program = [](const char* right_body) {
+    return std::string("proc left(real v[n], int n) {\n"
+                       "  for i = 0 to n - 1 {\n"
+                       "    v[i] = v[i] + 1.0;\n"
+                       "  }\n"
+                       "}\n"
+                       "proc right(real v[n], int n) {\n"
+                       "  for i = 0 to n - 1 {\n") +
+           right_body +
+           "  }\n"
+           "}\n"
+           "proc main() {\n"
+           "  real a[16];\n"
+           "  real b[16];\n"
+           "  for i = 0 to 15 {\n"
+           "    a[i] = noise(i);\n"
+           "    b[i] = noise(i);\n"
+           "  }\n"
+           "  left(a, 16);\n"
+           "  right(b, 16);\n"
+           "  sink(a[3]);\n"
+           "  sink(b[3]);\n"
+           "}\n";
+  };
+  const std::string original = program("    v[i] = v[i] * 2.0;\n");
+  const std::string edited = program("    v[i] = v[i] * 3.0;\n");
+
+  Request req;
+  req.cmd = "report";
+  req.source = original;
+  JsonValue cold = dispatch(d, req);
+  ASSERT_TRUE(cold.get("ok").asBool());
+  EXPECT_FALSE(cold.get("cached").asBool());
+  // First sight of the program: the incremental engine runs but finds
+  // nothing to replay.
+  EXPECT_EQ(cold.get("procs_analyzed").asNumber(), 3.0);
+  EXPECT_EQ(cold.get("procs_replayed").asNumber(), 0.0);
+
+  req.source = edited;
+  JsonValue inc = dispatch(d, req);
+  ASSERT_TRUE(inc.get("ok").asBool());
+  EXPECT_FALSE(inc.get("cached").asBool());
+  // Change-impact set of the `right` edit: {right, main}; `left` replays.
+  EXPECT_EQ(inc.get("procs_analyzed").asNumber(), 2.0);
+  EXPECT_EQ(inc.get("procs_replayed").asNumber(), 1.0);
+  EXPECT_EQ(inc.get("degraded").asNumber(), 0.0);
+
+  // Cold equivalence: the partially-replayed run's plans are byte-
+  // identical to a fresh in-process compile of the edited source.
+  DiagEngine diags;
+  auto cp = compileSource(edited, diags);
+  ASSERT_TRUE(cp) << diags.dump();
+  EXPECT_EQ(inc.get("signature").asString(), planSignature(*cp));
+  EXPECT_EQ(inc.get("report").asString(), renderPlanReport(*cp));
+
+  // The status counters tell the same story.
+  JsonValue st = dispatch(d, std::string("{\"cmd\":\"status\"}"));
+  JsonValue c = st.get("incremental");
+  EXPECT_EQ(c.get("runs").asNumber(), 2.0);
+  EXPECT_EQ(c.get("procs_analyzed").asNumber(), 5.0);
+  EXPECT_EQ(c.get("procs_replayed").asNumber(), 1.0);
+  EXPECT_EQ(c.get("last_dirty_size").asNumber(), 2.0);
+  EXPECT_GE(c.get("fingerprint_hits").asNumber(), 1.0);
+  EXPECT_GE(c.get("fingerprint_misses").asNumber(), 1.0);
+
+  // A warm repeat of the edited source is served from the response
+  // cache and does not move the incremental counters.
+  JsonValue warm = dispatch(d, req);
+  EXPECT_TRUE(warm.get("cached").asBool());
+  JsonValue st2 = dispatch(d, std::string("{\"cmd\":\"status\"}"));
+  EXPECT_EQ(st2.get("incremental").get("runs").asNumber(), 2.0);
 }
 
 // ---------------------------------------------------------------------

@@ -73,6 +73,9 @@ StoreData sampleData() {
   d.responses[{0x1234, "procs"}] = "main\nwork\n";
   d.responses[{0x1234, "telemetry"}] = "degraded_globally=0\n";
   d.responses[{0x1234, "report"}] = "loop  depth  plan\n";
+  d.deep_procs[{0xabcdef01, 0}] = std::string("\x01", 1) + "base-bytes";
+  d.deep_procs[{0xabcdef01, 1}] = std::string("\x01", 1) + "pred-bytes";
+  d.deep_procs[{0xabcdef02, 0}] = "other-proc";
   return d;
 }
 
@@ -88,6 +91,7 @@ TEST(Snapshot, RoundTripIsBitIdentical) {
   EXPECT_EQ(back.feasibility, d.feasibility);
   EXPECT_EQ(back.proc_plans, d.proc_plans);
   EXPECT_EQ(back.responses, d.responses);
+  EXPECT_EQ(back.deep_procs, d.deep_procs);
   // Maps make encode order canonical: re-encoding reproduces the bytes.
   EXPECT_EQ(encodeSnapshot(back), bytes);
 }
@@ -130,6 +134,11 @@ TEST(Snapshot, GoldenCorruptionsAllRejected) {
     b[8] = 0;
     expectRejected(b, "version zero");
   }
+  {  // v1 snapshot (pre-deep-proc layout): one-time cold start
+    std::string b = good;
+    b[8] = 1;
+    expectRejected(b, "stale v1 version");
+  }
   {  // CRC flip: flip one payload bit of the first record
     std::string b = good;
     b[12 + 5] ^= 0x40;
@@ -167,6 +176,38 @@ TEST(Snapshot, GoldenCorruptionsAllRejected) {
     b.push_back(static_cast<char>(store::kFeasibilityRecord));
     b += "\xff\xff\xff\x7f";  // len = 0x7fffffff
     expectRejected(b, "oversized length");
+  }
+
+  // Deep-proc record corruptions, spliced as hand-built CRC'd records
+  // right after the header (the decoder processes them first).
+  auto spliceRecord = [&](const std::string& payload) {
+    std::string rec;
+    rec.push_back(static_cast<char>(store::kDeepProcRecord));
+    for (int i = 0; i < 4; ++i)
+      rec.push_back(static_cast<char>((payload.size() >> (8 * i)) & 0xff));
+    uint32_t crc = crc32(rec);
+    crc = crc32(payload.data(), payload.size(), crc);
+    rec += payload;
+    for (int i = 0; i < 4; ++i)
+      rec.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+    return good.substr(0, 12) + rec + good.substr(12);
+  };
+  {  // payload shorter than the fixed fp+kind prefix
+    expectRejected(spliceRecord(std::string(8, '\x11')), "short deep-proc");
+  }
+  {  // fp+kind present but zero codec bytes
+    std::string payload(8, '\x22');
+    payload.push_back('\x00');  // kind = base, no value
+    expectRejected(spliceRecord(payload), "empty deep-proc value");
+  }
+  {  // duplicate (fp, kind) key: re-splice an existing record verbatim
+    std::string payload;
+    uint64_t fp = 0xabcdef01;
+    for (int i = 0; i < 8; ++i)
+      payload.push_back(static_cast<char>((fp >> (8 * i)) & 0xff));
+    payload.push_back('\x00');  // kind = base
+    payload += std::string("\x01", 1) + "base-bytes";
+    expectRejected(spliceRecord(payload), "duplicate deep-proc key");
   }
 }
 
