@@ -22,9 +22,10 @@ using namespace padfa::bench;
 namespace {
 
 struct EntryStats {
-  int cand = 0, elpd_par = 0, ct = 0, rt = 0;
+  int cand = 0, elpd_par = 0, ct = 0, rt = 0, doa = 0;
   int degraded = 0, certified = 0, audited = 0, unsound = 0;
   int oracle_run = 0, oracle_clean = 0, violations = 0;
+  int syncs_total = 0, syncs_kept = 0;
 };
 
 EntryStats computeEntry(const CorpusEntry& e) {
@@ -35,9 +36,14 @@ EntryStats computeEntry(const CorpusEntry& e) {
   AuditReport audit = auditPlans(*cp.program, cp.pred, audit_diags);
   EntryStats s;
   s.certified = static_cast<int>(audit.count(AuditVerdict::Independent) +
-                                 audit.count(AuditVerdict::DischargedTest));
+                                 audit.count(AuditVerdict::DischargedTest) +
+                                 audit.count(AuditVerdict::DischargedSync));
   s.audited = static_cast<int>(audit.auditedCount());
   s.unsound = static_cast<int>(audit.count(AuditVerdict::Unsound));
+  for (const auto& la : audit.loops) {
+    s.syncs_total += static_cast<int>(la.syncs_total);
+    s.syncs_kept += static_cast<int>(la.syncs_kept);
+  }
   // ...and dynamic re-verification (race oracle) over the reference run.
   RaceOracle oracle(*cp.program, cp.pred);
   InterpOptions ropt;
@@ -58,6 +64,7 @@ EntryStats computeEntry(const CorpusEntry& e) {
     if (!pp) continue;
     if (pp->status == LoopStatus::Parallel) ++s.ct;
     if (pp->status == LoopStatus::RuntimeTest) ++s.rt;
+    if (pp->status == LoopStatus::Doacross) ++s.doa;
   }
   s.degraded = static_cast<int>(cp.pred.degradedCount());
   return s;
@@ -67,24 +74,29 @@ EntryStats computeEntry(const CorpusEntry& e) {
 
 int main() {
   TextTable table({"program", "candidates", "ELPD-par", "pred-CT",
-                   "pred-RT", "recovered", "% of remainder", "audit",
-                   "oracle", "degraded"});
+                   "pred-RT", "pred-DOA", "syncs", "recovered",
+                   "% of remainder", "audit", "oracle", "degraded"});
   const std::vector<CorpusEntry>& entries = corpus();
   std::vector<std::future<EntryStats>> futs;
   futs.reserve(entries.size());
   for (const CorpusEntry& e : entries)
     futs.push_back(analysisPool().submit([&e] { return computeEntry(e); }));
-  int tot_cand = 0, tot_elpd = 0, tot_ct = 0, tot_rt = 0;
+  int tot_cand = 0, tot_elpd = 0, tot_ct = 0, tot_rt = 0, tot_doa = 0;
   int tot_degraded = 0;
-  int programs_with_gains = 0;
+  int tot_syncs_total = 0, tot_syncs_kept = 0;
+  int programs_with_gains = 0, programs_with_doacross = 0;
   int tot_audited = 0, tot_certified = 0, tot_unsound = 0;
   int tot_oracle_clean = 0, tot_oracle_run = 0, tot_violations = 0;
   for (size_t i = 0; i < entries.size(); ++i) {
     const CorpusEntry& e = entries[i];
     EntryStats s = futs[i].get();
     if (s.ct + s.rt > 0) ++programs_with_gains;
+    if (s.doa > 0) ++programs_with_doacross;
     table.addRow({e.name, std::to_string(s.cand), std::to_string(s.elpd_par),
                   std::to_string(s.ct), std::to_string(s.rt),
+                  std::to_string(s.doa),
+                  std::to_string(s.syncs_total) + "->" +
+                      std::to_string(s.syncs_kept),
                   std::to_string(s.ct + s.rt),
                   fmtPercent(s.ct + s.rt, s.elpd_par),
                   std::to_string(s.certified) + "/" +
@@ -96,6 +108,9 @@ int main() {
     tot_elpd += s.elpd_par;
     tot_ct += s.ct;
     tot_rt += s.rt;
+    tot_doa += s.doa;
+    tot_syncs_total += s.syncs_total;
+    tot_syncs_kept += s.syncs_kept;
     tot_degraded += s.degraded;
     tot_audited += s.audited;
     tot_certified += s.certified;
@@ -107,6 +122,9 @@ int main() {
   table.addSeparator();
   table.addRow({"TOTAL", std::to_string(tot_cand), std::to_string(tot_elpd),
                 std::to_string(tot_ct), std::to_string(tot_rt),
+                std::to_string(tot_doa),
+                std::to_string(tot_syncs_total) + "->" +
+                    std::to_string(tot_syncs_kept),
                 std::to_string(tot_ct + tot_rt),
                 fmtPercent(tot_ct + tot_rt, tot_elpd),
                 std::to_string(tot_certified) + "/" +
@@ -121,6 +139,11 @@ int main() {
               fmtPercent(tot_ct + tot_rt, tot_elpd).c_str());
   std::printf("programs gaining additional loops: %d (paper: 9)\n",
               programs_with_gains);
+  std::printf("doacross pipelines %d further sequential loops across %d "
+              "programs; sync requirements %d -> %d after redundant-sync "
+              "elimination\n",
+              tot_doa, programs_with_doacross, tot_syncs_total,
+              tot_syncs_kept);
   std::printf("verification: auditor certifies %d/%d predicated plans "
               "(%d unsound); race oracle clean on %d/%d executed loops "
               "(%d violations)\n",

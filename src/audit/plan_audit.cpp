@@ -4,6 +4,7 @@
 #include <set>
 
 #include "audit/loop_conflicts.h"
+#include "dataflow/doacross.h"
 #include "predicate/pred.h"
 #include "presburger/system.h"
 #include "symbolic/vartable.h"
@@ -27,6 +28,7 @@ class LoopAuditor {
     audit_.status = plan_.status;
     scanner_.scan();
     checkScalars();
+    if (plan_.status == LoopStatus::Doacross) checkSyncs();
     testPairs();
     return std::move(audit_);
   }
@@ -78,6 +80,10 @@ class LoopAuditor {
           raiseTo(AuditVerdict::DischargedTest);
           continue;
         }
+        if (plan_.status == LoopStatus::Doacross) {
+          auditDoacrossPair(a, b, eq, i == j);
+          continue;
+        }
         std::string name(program_.interner.str(a.root->name));
         std::string where = "'" + name + "' (" + (a.write ? "write" : "read") +
                             " at " + a.loc.str() + " vs " +
@@ -98,6 +104,80 @@ class LoopAuditor {
                                  " exactly; deferring to the race oracle");
           raiseTo(AuditVerdict::Inconclusive);
         }
+      }
+    }
+  }
+
+  bool syncDeclared(const Stmt* src, const Stmt* snk, int64_t dist) const {
+    for (const auto& s : plan_.syncs)
+      if (s.source == src && s.sink == snk && s.distance == dist) return true;
+    return false;
+  }
+
+  /// Doacross discharge: a carried pair is fine exactly when each
+  /// feasible direction has an exactly-modeled constant distance that
+  /// matches a declared (source, sink, distance) sync requirement —
+  /// including eliminated ones, which checkSyncs() separately re-derives
+  /// from the kept set. Anything exact that the syncs do not cover is a
+  /// dependence the pipelined execution would violate: Unsound.
+  void auditDoacrossPair(const ConflictAccess& a, const ConflictAccess& b,
+                         PairEq eq, bool same) {
+    const ConflictAccess* dirs[2][2] = {{&a, &b}, {&b, &a}};
+    size_t ndirs = same ? 1 : 2;
+    for (size_t d = 0; d < ndirs; ++d) {
+      const ConflictAccess* x = dirs[d][0];
+      const ConflictAccess* y = dirs[d][1];
+      if (!scanner_.conflictInOrder(*x, *y, eq, nullptr)) continue;
+      auto g = scanner_.geometry(*x, *y, eq);
+      std::string name(program_.interner.str(x->root->name));
+      std::string where = "'" + name + "' (" +
+                          (x->write ? "write" : "read") + " at " +
+                          x->loc.str() + " -> " +
+                          (y->write ? "write" : "read") + " at " +
+                          y->loc.str() + ")";
+      bool exact = LoopConflictScanner::pairExactly(*x, *y, eq) &&
+                   scanner_.loopExact();
+      // Geometry is in index space; plan.syncs store iteration ordinals
+      // (index distance / constant step) — convert before matching.
+      std::optional<int64_t> step = doacrossConstStep(*plan_.loop);
+      if (exact && step && g.distance && *g.distance >= 1 &&
+          *g.distance % *step == 0 &&
+          syncDeclared(x->anchor, y->anchor, *g.distance / *step)) {
+        ++audit_.pairs_synced;
+        raiseTo(AuditVerdict::DischargedSync);
+        continue;
+      }
+      if (exact) {
+        audit_.notes.push_back("carried dependence on " + where +
+                               " not covered by a declared sync");
+        raiseTo(AuditVerdict::Unsound);
+      } else {
+        audit_.notes.push_back("cannot model " + where +
+                               " exactly; deferring to the race oracle");
+        raiseTo(AuditVerdict::Inconclusive);
+      }
+    }
+  }
+
+  /// Re-verify every eliminated sync requirement against the kept set,
+  /// independently rebuilding the statement-order facts from the AST. A
+  /// forged or stale elimination (kept set no longer implies the dropped
+  /// edge) is a dependence the execution will not enforce: Unsound.
+  void checkSyncs() {
+    audit_.syncs_total = plan_.syncs.size();
+    audit_.syncs_kept = plan_.keptSyncCount();
+    SyncOrderInfo info = buildSyncOrderInfo(*plan_.loop);
+    std::vector<SyncRequirement> kept;
+    for (const auto& s : plan_.syncs)
+      if (!s.eliminated) kept.push_back(s);
+    for (const auto& s : plan_.syncs) {
+      if (!s.eliminated) continue;
+      if (!syncRequirementCovered(s, kept, info)) {
+        audit_.notes.push_back(
+            "eliminated sync requirement (distance " +
+            std::to_string(s.distance) +
+            ") is not implied by the kept requirements");
+        raiseTo(AuditVerdict::Unsound);
       }
     }
   }
@@ -138,6 +218,7 @@ std::string_view auditVerdictName(AuditVerdict v) {
   switch (v) {
     case AuditVerdict::Independent: return "independent";
     case AuditVerdict::DischargedTest: return "discharged-by-test";
+    case AuditVerdict::DischargedSync: return "discharged-by-sync";
     case AuditVerdict::Inconclusive: return "inconclusive";
     case AuditVerdict::Unsound: return "UNSOUND";
   }
@@ -156,7 +237,8 @@ AuditReport auditPlans(const Program& program, const AnalysisResult& analysis,
   AuditReport report;
   for (const auto& [loop, plan] : analysis.plans) {
     if (plan.status != LoopStatus::Parallel &&
-        plan.status != LoopStatus::RuntimeTest)
+        plan.status != LoopStatus::RuntimeTest &&
+        plan.status != LoopStatus::Doacross)
       continue;
     LoopAuditor auditor(program, plan);
     LoopAudit la = auditor.run();

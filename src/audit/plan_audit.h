@@ -44,6 +44,7 @@ namespace padfa {
 enum class AuditVerdict : uint8_t {
   Independent,   // every pair proven conflict-free (or privatized)
   DischargedTest,// some pair needed the run-time test to discharge
+  DischargedSync,// some pair is carried but covered by a declared sync
   Inconclusive,  // some pair could not be decided (coarse modeling)
   Unsound,       // exact conflict found that nothing discharges
 };
@@ -60,6 +61,9 @@ struct LoopAudit {
   size_t pairs_independent = 0; // proven infeasible outright
   size_t pairs_privatized = 0;  // discharged by a privatization declaration
   size_t pairs_test = 0;        // discharged by the run-time test
+  size_t pairs_synced = 0;      // discharged by a declared sync requirement
+  size_t syncs_total = 0;       // sync requirements before elimination
+  size_t syncs_kept = 0;        // sync requirements after elimination
   /// Human-readable explanations for Inconclusive / Unsound pairs.
   std::vector<std::string> notes;
 };
@@ -73,9 +77,12 @@ struct AuditReport {
   bool clean() const { return count(AuditVerdict::Unsound) == 0; }
 };
 
-/// Audit every Parallel / RuntimeTest plan in `analysis`. Emits
-/// `audit-unsound` warnings (promotable via -Werror) and
-/// `audit-inconclusive` notes to `diags`.
+/// Audit every Parallel / RuntimeTest / Doacross plan in `analysis`.
+/// For Doacross plans each surviving directed carried dependence must
+/// match a declared (source, sink, distance) sync requirement exactly,
+/// and every eliminated requirement must be re-derivable from the kept
+/// ones (syncRequirementCovered). Emits `audit-unsound` warnings
+/// (promotable via -Werror) and `audit-inconclusive` notes to `diags`.
 AuditReport auditPlans(const Program& program, const AnalysisResult& analysis,
                        DiagEngine& diags);
 

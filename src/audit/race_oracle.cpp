@@ -36,10 +36,15 @@ RaceOracle::RaceOracle(const Program& program, const AnalysisResult& analysis)
     : program_(program) {
   for (const auto& [loop, plan] : analysis.plans) {
     if (plan.status != LoopStatus::Parallel &&
-        plan.status != LoopStatus::RuntimeTest)
+        plan.status != LoopStatus::RuntimeTest &&
+        plan.status != LoopStatus::Doacross)
       continue;
     LoopState st;
     st.plan = &plan;
+    if (plan.status == LoopStatus::Doacross) {
+      st.doacross = true;
+      for (const auto& s : plan.syncs) st.sync_distances.insert(s.distance);
+    }
     std::set<const VarDecl*> body_declared;
     collectDeclared(*loop->body, body_declared);
     for (const auto& red : plan.reductions)
@@ -126,11 +131,12 @@ void RaceOracle::recordAccess(const void* buffer, const VarDecl* decl,
     std::string_view name =
         decl ? program_.interner.str(decl->name) : "<array>";
     if (is_write) {
-      if (!privatized && ((w != -1 && w != t) || (r != -1 && r != t)))
+      const bool waw = w != -1 && w != t && !st.allows(t - w);
+      const bool war = r != -1 && r != t && !st.allows(t - r);
+      if (!privatized && (waw || war))
         flag(st, "shared array '" + std::string(name) +
                      "' element written by iteration " + std::to_string(t) +
-                     " after iteration " +
-                     std::to_string(w != -1 && w != t ? w : r) +
+                     " after iteration " + std::to_string(waw ? w : r) +
                      " accessed it");
       w = t;
     } else {
@@ -140,7 +146,7 @@ void RaceOracle::recordAccess(const void* buffer, const VarDecl* decl,
                        "' carries a value from iteration " +
                        std::to_string(w) + " into iteration " +
                        std::to_string(t) + " (cross-iteration flow)");
-        else
+        else if (!st.allows(t - w))
           flag(st, "shared array '" + std::string(name) +
                        "' element read by iteration " + std::to_string(t) +
                        " was written by iteration " + std::to_string(w));

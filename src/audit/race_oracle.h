@@ -39,8 +39,13 @@ namespace padfa {
 
 class RaceOracle {
  public:
-  /// `analysis` must outlive the oracle. Every plan with status Parallel
-  /// or RuntimeTest becomes an audited loop.
+  /// `analysis` must outlive the oracle. Every plan with status Parallel,
+  /// RuntimeTest, or Doacross becomes an audited loop. Doacross loops are
+  /// checked modulo their declared syncs: an observed cross-iteration
+  /// array conflict is permitted iff its iteration distance appears in
+  /// the plan's sync requirements (eliminated ones included — they name
+  /// real dependences, merely enforced transitively); the privatized-flow
+  /// and scalar-flow rules are unchanged.
   RaceOracle(const Program& program, const AnalysisResult& analysis);
 
   bool isAudited(const ForStmt* loop) const {
@@ -112,6 +117,15 @@ class RaceOracle {
     std::set<const VarDecl*> tracked_scalars;
     /// Reduction scalars (flow through them is the declared plan).
     std::set<const VarDecl*> reduction_scalars;
+    /// Doacross: iteration distances declared by the plan's sync
+    /// requirements; shared-array conflicts at exactly these distances
+    /// are the synchronized dependences, not races.
+    bool doacross = false;
+    std::set<int64_t> sync_distances;
+
+    bool allows(int64_t d) const {
+      return doacross && sync_distances.count(d) > 0;
+    }
 
     // Per-invocation state.
     bool active = false;

@@ -1,5 +1,7 @@
-// The evaluation corpus: 30 MF programs standing in for the paper's
-// benchmark suites (Specfp95, NAS, Perfect, plus one additional program).
+// The evaluation corpus: 33 MF programs standing in for the paper's
+// benchmark suites (Specfp95, NAS, Perfect, plus additional programs —
+// erlebacher and three pipelined-recurrence kernels for the Doacross
+// evaluation).
 //
 // Substitution note (see DESIGN.md §2): the original Fortran sources are
 // licensed and run on 1990s inputs; each corpus program instead distills
@@ -36,7 +38,7 @@ struct CorpusEntry {
   bool speedup_expected = false;
 };
 
-/// The full 30-program corpus, stable order.
+/// The full 33-program corpus, stable order.
 const std::vector<CorpusEntry>& corpus();
 
 /// Look up by name (nullptr if absent).

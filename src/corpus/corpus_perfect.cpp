@@ -283,6 +283,68 @@ proc main() {
 }
 )", 64, GainKind::None, false});
 
+  // sor_pipe: successive over-relaxation pipeline — heavy independent
+  // per-point work feeding a distance-1 recurrence. Neither analysis can
+  // DOALL it, but every carried dependence has constant distance 1, so
+  // the Doacross upgrade pipelines it with one post/wait pair.
+  v.push_back({"sor_pipe", "other", R"(
+proc main() {
+  int n; n = $N$;
+  real a[$N$];
+  for i = 0 to n - 1 { a[i] = noise(i) * 0.5; }
+  for i = 1 to n - 1 {
+    real acc; acc = 0.0;
+    for k = 0 to 255 { acc = acc + noise(i * 256 + k) * 0.01; }
+    a[i] = a[i-1] * 0.5 + acc;
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + a[i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // lin_rec4: linear recurrence with lag 4 — the carried distance leaves
+  // four iterations of slack, so the Doacross pipeline keeps four
+  // chains in flight even before the heavy prefix overlaps.
+  v.push_back({"lin_rec4", "other", R"(
+proc main() {
+  int n; n = $N$;
+  real b[$N$];
+  for i = 0 to n - 1 { b[i] = noise(i) + 1.0; }
+  for i = 4 to n - 1 {
+    real acc; acc = 0.0;
+    for k = 0 to 255 { acc = acc + noise(i * 256 + k) * 0.01; }
+    b[i] = b[i-4] * 0.9 + acc * 0.1;
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + b[i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
+  // wavefront_sync: two coupled recurrences with distances {1, 2} —
+  // exercises redundant-sync elimination: the distance-2 requirement
+  // u[i-2] -> u[i] is covered by chaining the distance-1 u-recurrence
+  // twice plus intra-iteration program order, so only the two
+  // distance-1 post/wait pairs survive.
+  v.push_back({"wavefront_sync", "other", R"(
+proc main() {
+  int n; n = $N$;
+  real u[$N$];
+  real w[$N$];
+  for i = 0 to n - 1 { u[i] = noise(i) * 0.5; w[i] = noise(i + 777) * 0.5; }
+  for i = 2 to n - 1 {
+    real acc; acc = 0.0;
+    for k = 0 to 191 { acc = acc + noise(i * 192 + k) * 0.01; }
+    u[i] = u[i-1] * 0.4 + acc;
+    w[i] = u[i-2] * 0.3 + w[i-1] * 0.2;
+  }
+  real chk; chk = 0.0;
+  for i = 0 to n - 1 { chk = chk + u[i] + w[i]; }
+  sink(chk);
+}
+)", 64, GainKind::None, false});
+
   return v;
 }
 

@@ -1,0 +1,220 @@
+#include "dataflow/doacross.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <utility>
+
+#include "audit/loop_conflicts.h"
+
+namespace padfa {
+
+namespace {
+
+void walkOrder(const Stmt& s, int if_depth, int for_depth,
+               SyncOrderInfo& info, int& next) {
+  info.pos[&s] = next++;
+  if (if_depth == 0 && for_depth == 0) info.unconditional.insert(&s);
+  if (for_depth == 0) info.immediate_post.insert(&s);
+  switch (s.kind) {
+    case StmtKind::Block:
+      for (const auto& c : static_cast<const BlockStmt&>(s).stmts)
+        walkOrder(*c, if_depth, for_depth, info, next);
+      break;
+    case StmtKind::If: {
+      const auto& is = static_cast<const IfStmt&>(s);
+      walkOrder(*is.then_block, if_depth + 1, for_depth, info, next);
+      if (is.else_block)
+        walkOrder(*is.else_block, if_depth + 1, for_depth, info, next);
+      break;
+    }
+    case StmtKind::For:
+      // The inner loop's bounds run once per outer iteration (and anchor
+      // accesses at the ForStmt itself, already mapped above); its body
+      // runs zero or more times.
+      walkOrder(*static_cast<const ForStmt&>(s).body, if_depth,
+                for_depth + 1, info, next);
+      break;
+    default:
+      break;
+  }
+}
+
+int posOf(const SyncOrderInfo& info, const Stmt* s) {
+  auto it = info.pos.find(s);
+  return it == info.pos.end() ? -1 : it->second;
+}
+
+}  // namespace
+
+SyncOrderInfo buildSyncOrderInfo(const ForStmt& loop) {
+  SyncOrderInfo info;
+  int next = 0;
+  walkOrder(*loop.body, 0, 0, info, next);
+  return info;
+}
+
+std::optional<int64_t> doacrossConstStep(const ForStmt& loop) {
+  if (!loop.step) return 1;
+  if (loop.step->kind != ExprKind::IntLit) return std::nullopt;
+  int64_t s = static_cast<const IntLitExpr&>(*loop.step).value;
+  if (s < 1) return std::nullopt;
+  return s;
+}
+
+// The happens-before search behind redundant-sync elimination. A state
+// (s, o) asserts: in any execution containing the dependence instance,
+// the release of s's wait at iteration offset o (offset 0 = the sink's
+// iteration) happens-after the source access at offset -distance. From
+// a state we may take a kept requirement k = (a, b, d) when the post of
+// a at the state's offset is ordered after the state's event: always,
+// if a's post is deferred to the end of the iteration; otherwise when
+// pos(a) >= pos(s) (structured code, so later position = executes
+// after — or is skipped, in which case the end-of-iteration backstop
+// post is even later). The new state (b, o + d) may continue only when
+// b is unconditional (its wait provably runs every iteration); it is
+// accepting at offset 0 when b is the sink itself, or unconditional
+// with pos(b) <= pos(sink) (program order carries the edge the rest of
+// the way). Offsets only grow, so anything past 0 is a dead end.
+bool syncRequirementCovered(const SyncRequirement& req,
+                            const std::vector<SyncRequirement>& kept,
+                            const SyncOrderInfo& info) {
+  constexpr size_t kMaxStates = 4096;
+  int sink_pos = posOf(info, req.sink);
+  if (sink_pos < 0 || posOf(info, req.source) < 0) return false;
+  std::set<std::pair<const Stmt*, int64_t>> seen;
+  std::deque<std::pair<const Stmt*, int64_t>> queue;
+  queue.push_back({req.source, -req.distance});
+  seen.insert(queue.front());
+  while (!queue.empty()) {
+    auto [s, o] = queue.front();
+    queue.pop_front();
+    int s_pos = posOf(info, s);
+    for (const auto& k : kept) {
+      if (k.eliminated) continue;
+      int64_t no = o + k.distance;
+      if (no > 0) continue;
+      int a_pos = posOf(info, k.source);
+      if (a_pos < 0 || posOf(info, k.sink) < 0) continue;
+      bool post_ordered =
+          !info.immediate_post.count(k.source) || a_pos >= s_pos;
+      if (!post_ordered) continue;
+      if (no == 0) {
+        if (k.sink == req.sink ||
+            (info.unconditional.count(k.sink) &&
+             posOf(info, k.sink) <= sink_pos))
+          return true;
+        continue;
+      }
+      if (!info.unconditional.count(k.sink)) continue;
+      if (seen.size() >= kMaxStates) return false;
+      if (seen.insert({k.sink, no}).second) queue.push_back({k.sink, no});
+    }
+  }
+  return false;
+}
+
+bool classifyDoacross(const Program& program, LoopPlan& plan) {
+  // Candidacy: the array dataflow phase gave up with a carried array
+  // dependence, undegraded. The reason string round-trips through the
+  // deep-plan codec, so replayed plans keep their candidacy and the
+  // upgrade is warm/cold deterministic.
+  static constexpr std::string_view kArrayReason =
+      "loop-carried dependence on array";
+  if (plan.status != LoopStatus::Sequential || plan.degraded) return false;
+  if (!plan.loop || !plan.proc) return false;
+  if (plan.reason.compare(0, kArrayReason.size(), kArrayReason) != 0)
+    return false;
+
+  std::optional<int64_t> step = doacrossConstStep(*plan.loop);
+  if (!step) return false;
+
+  LoopConflictScanner scanner(program, plan.loop, plan.proc);
+  scanner.scan();
+  if (scanner.overflow() || !scanner.loopExact()) return false;
+
+  SyncOrderInfo info = buildSyncOrderInfo(*plan.loop);
+  std::set<const VarDecl*> priv;
+  for (const auto& p : plan.privatized) priv.insert(p.array);
+
+  const auto& acc = scanner.accesses();
+  std::vector<SyncRequirement> reqs;
+  for (size_t i = 0; i < acc.size(); ++i) {
+    for (size_t j = i; j < acc.size(); ++j) {
+      const ConflictAccess& a = acc[i];
+      const ConflictAccess& b = acc[j];
+      if (a.root != b.root || (!a.write && !b.write)) continue;
+      if (priv.count(a.root)) continue;
+      auto eq = LoopConflictScanner::pairEq(a, b);
+      std::pair<const ConflictAccess*, const ConflictAccess*> dirs[2] = {
+          {&a, &b}, {&b, &a}};
+      size_t ndirs = (j == i) ? 1 : 2;
+      for (size_t d = 0; d < ndirs; ++d) {
+        const ConflictAccess* x = dirs[d].first;
+        const ConflictAccess* y = dirs[d].second;
+        auto g = scanner.geometry(*x, *y, eq);
+        if (!g.feasible) continue;
+        // A carried dependence survives in this direction: it must have
+        // an exactly-modeled, constant, positive distance or the loop
+        // stays Sequential.
+        if (!LoopConflictScanner::pairExactly(*x, *y, eq)) return false;
+        // Geometry distances are in index space; store iteration
+        // ordinals (index distance / step) — the post/wait runtime and
+        // the race oracle both count ordinals.
+        if (!g.distance || *g.distance < 1 || *g.distance % *step != 0)
+          return false;
+        if (!x->anchor || !y->anchor) return false;
+        if (posOf(info, x->anchor) < 0 || posOf(info, y->anchor) < 0)
+          return false;
+        reqs.push_back({x->anchor, y->anchor, *g.distance / *step, false});
+      }
+    }
+  }
+  if (reqs.empty()) return false;  // scanner beat the analysis; stay safe
+
+  // Deduplicate and order deterministically by statement position.
+  std::sort(reqs.begin(), reqs.end(),
+            [&](const SyncRequirement& l, const SyncRequirement& r) {
+              int lp = posOf(info, l.source), rp = posOf(info, r.source);
+              if (lp != rp) return lp < rp;
+              int ls = posOf(info, l.sink), rs = posOf(info, r.sink);
+              if (ls != rs) return ls < rs;
+              return l.distance < r.distance;
+            });
+  reqs.erase(std::unique(reqs.begin(), reqs.end(),
+                         [](const SyncRequirement& l,
+                            const SyncRequirement& r) {
+                           return l.source == r.source && l.sink == r.sink &&
+                                  l.distance == r.distance;
+                         }),
+             reqs.end());
+
+  // Redundant-sync elimination: greedily drop requirements implied by
+  // the surviving set, largest distances first (those are the likeliest
+  // to be transitive compositions of the smaller ones).
+  std::vector<size_t> order(reqs.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t l, size_t r) {
+    if (reqs[l].distance != reqs[r].distance)
+      return reqs[l].distance > reqs[r].distance;
+    return l < r;
+  });
+  for (size_t idx : order) {
+    std::vector<SyncRequirement> kept;
+    for (size_t k = 0; k < reqs.size(); ++k)
+      if (k != idx && !reqs[k].eliminated) kept.push_back(reqs[k]);
+    if (kept.empty()) continue;
+    if (syncRequirementCovered(reqs[idx], kept, info))
+      reqs[idx].eliminated = true;
+  }
+
+  plan.status = LoopStatus::Doacross;
+  plan.syncs = std::move(reqs);
+  return true;
+}
+
+void upgradeDoacrossPlans(const Program& program, AnalysisResult& result) {
+  for (auto& [loop, plan] : result.plans) classifyDoacross(program, plan);
+}
+
+}  // namespace padfa

@@ -8,6 +8,7 @@ std::string_view loopStatusName(LoopStatus s) {
     case LoopStatus::RuntimeTest: return "runtime-test";
     case LoopStatus::Sequential: return "sequential";
     case LoopStatus::NotCandidate: return "not-candidate";
+    case LoopStatus::Doacross: return "doacross";
   }
   return "?";
 }

@@ -18,6 +18,13 @@ enum class LoopStatus : uint8_t {
   RuntimeTest,   // two-version loop guarded by a derived run-time test
   Sequential,    // dependence (or un-analyzable) — stays sequential
   NotCandidate,  // I/O (sink), loop-variant bounds, non-positive step
+  // Pipelined parallel: every residual carried dependence has a
+  // provably-constant iteration distance, enforced at run time by
+  // post/wait synchronization (LoopPlan::syncs). Deliberately ordered
+  // after NotCandidate: the deep-plan store only ever persists
+  // pre-upgrade plans, and its codec rejects any status beyond
+  // NotCandidate, which keeps stored bytes upgrade-agnostic.
+  Doacross,
 };
 
 std::string_view loopStatusName(LoopStatus s);
@@ -34,6 +41,21 @@ enum class ReductionOp : uint8_t { Sum, Prod, Min, Max };
 struct ScalarReduction {
   const VarDecl* scalar = nullptr;
   ReductionOp op = ReductionOp::Sum;
+};
+
+/// One post/wait obligation of a Doacross plan: before `sink` executes
+/// in iteration i, `source` must have completed iteration i - distance.
+/// Source and sink are the anchor statements of the conflicting access
+/// pair; the distance is the constant value of the Presburger
+/// projection onto i2 - i1 (always >= 1).
+struct SyncRequirement {
+  const Stmt* source = nullptr;
+  const Stmt* sink = nullptr;
+  int64_t distance = 0;
+  /// Transitively implied by the kept requirements plus intra-iteration
+  /// program order (the redundant-sync-elimination rule, DESIGN.md §14);
+  /// recorded for reporting and auditing but not enforced at run time.
+  bool eliminated = false;
 };
 
 struct LoopPlan {
@@ -53,8 +75,22 @@ struct LoopPlan {
   std::vector<const VarDecl*> copy_out_scalars;
   std::vector<ScalarReduction> reductions;
 
-  /// Human-readable reason when Sequential / NotCandidate.
+  /// Human-readable reason when Sequential / NotCandidate. A Doacross
+  /// plan keeps the Sequential reason it was upgraded from (it documents
+  /// why the loop is not fully DOALL).
   std::string reason;
+
+  /// Post/wait requirements (status == Doacross), deduplicated and
+  /// ordered by (source position, sink position, distance). Entries
+  /// marked `eliminated` are implied by the rest and not enforced.
+  std::vector<SyncRequirement> syncs;
+
+  /// Kept (non-eliminated) sync count, for reports.
+  size_t keptSyncCount() const {
+    size_t n = 0;
+    for (const auto& s : syncs) n += s.eliminated ? 0 : 1;
+    return n;
+  }
 
   /// True when the plan is a fallback forced by resource budget
   /// exhaustion (or injected faults) rather than a full analysis verdict.

@@ -1,7 +1,9 @@
 #include "driver/padfa.h"
 
 #include <cstdio>
+#include <set>
 
+#include "dataflow/doacross.h"
 #include "runtime/thread_pool.h"
 
 namespace padfa {
@@ -47,6 +49,10 @@ std::optional<CompiledProgram> compileSource(const std::string& source,
     pplan.degraded = true;
     pplan.degrade_cause = std::move(cause);
   }
+  // Doacross upgrade: runs last (after the ladder, and in the incremental
+  // path after persistence) so stored plans are always pre-upgrade and
+  // warm replays stay byte-identical — see dataflow/doacross.h.
+  upgradeDoacrossPlans(prog, cp.pred);
   cp.program = std::move(program);
   return cp;
 }
@@ -62,10 +68,24 @@ std::string renderPlanReport(const CompiledProgram& cp) {
     const LoopPlan* pp = cp.pred.planFor(node->loop);
     if (!bp || !pp) continue;
     std::string notes;
-    if (pp->status == LoopStatus::RuntimeTest)
+    if (pp->status == LoopStatus::RuntimeTest) {
       notes = "test: " + pp->runtime_test.str(cp.interner());
-    else if (pp->status == LoopStatus::Sequential)
+    } else if (pp->status == LoopStatus::Doacross) {
+      std::set<int64_t> dists;
+      for (const auto& s : pp->syncs)
+        if (!s.eliminated) dists.insert(s.distance);
+      notes = "[syncs " + std::to_string(pp->syncs.size()) + "->" +
+              std::to_string(pp->keptSyncCount()) + " d={";
+      bool first = true;
+      for (int64_t d : dists) {
+        if (!first) notes += ',';
+        notes += std::to_string(d);
+        first = false;
+      }
+      notes += "}]";
+    } else if (pp->status == LoopStatus::Sequential) {
       notes = pp->reason;
+    }
     if (pp->degraded || bp->degraded)
       notes += " [degraded: " +
                (pp->degraded ? pp->degrade_cause : bp->degrade_cause) + "]";
@@ -105,6 +125,7 @@ std::string_view loopOutcomeName(LoopOutcome o) {
     case LoopOutcome::BaseParallel: return "base-parallel";
     case LoopOutcome::PredParallelCT: return "pred-parallel-ct";
     case LoopOutcome::PredParallelRT: return "pred-parallel-rt";
+    case LoopOutcome::PredDoacross: return "pred-doacross";
     case LoopOutcome::SequentialBoth: return "sequential";
     case LoopOutcome::NotCandidate: return "not-candidate";
     case LoopOutcome::NestedInParallel: return "nested-in-parallel";
@@ -134,6 +155,7 @@ LoopOutcome classifyLoop(const CompiledProgram& cp, const ForStmt* loop) {
   if (pp->status == LoopStatus::Parallel) return LoopOutcome::PredParallelCT;
   if (pp->status == LoopStatus::RuntimeTest)
     return LoopOutcome::PredParallelRT;
+  if (pp->status == LoopStatus::Doacross) return LoopOutcome::PredDoacross;
   if (nestedInsideParallelized(cp, loop, cp.pred))
     return LoopOutcome::NestedInParallel;
   return LoopOutcome::SequentialBoth;

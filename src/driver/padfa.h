@@ -58,6 +58,7 @@ enum class LoopOutcome {
   BaseParallel,       // base SUIF parallelizes (compile time)
   PredParallelCT,     // newly parallel under predicated analysis, compile time
   PredParallelRT,     // newly parallel under a derived run-time test
+  PredDoacross,       // pipelined via post/wait syncs (was Sequential)
   SequentialBoth,     // neither system parallelizes
   NotCandidate,       // I/O, bad step, loop-variant bounds
   NestedInParallel,   // inside a loop parallelized by the same system

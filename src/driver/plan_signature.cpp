@@ -66,6 +66,16 @@ void appendPlanSignature(std::string& out, const LoopPlan* p) {
     out += std::to_string(static_cast<int>(r.op));
     out += ' ';
   }
+  out += "] syncs=[";
+  for (const auto& s : p->syncs) {
+    out += s.source ? s.source->loc.str() : "?";
+    out += "->";
+    out += s.sink ? s.sink->loc.str() : "?";
+    out += ":d";
+    out += std::to_string(s.distance);
+    out += s.eliminated ? "-elim" : "";
+    out += ' ';
+  }
   out += "] flags=";
   out += p->used_predicates ? 'P' : '.';
   out += p->used_embedding ? 'E' : '.';

@@ -8,8 +8,10 @@
 #include <limits>
 #include <mutex>
 #include <set>
+#include <thread>
 
 #include "audit/race_oracle.h"
+#include "dataflow/doacross.h"
 
 namespace padfa {
 
@@ -50,6 +52,113 @@ struct Cell {
 
 using Frame = std::vector<Cell>;
 
+// ----------------------------------------------- Doacross run-time sync --
+
+/// Post/wait tables compiled from one Doacross plan's kept sync
+/// requirements. Slots are the distinct source statements.
+struct DoaTables {
+  std::vector<const Stmt*> slots;
+  /// sink stmt -> (slot, distance) waits executed before each execution.
+  std::map<const Stmt*, std::vector<std::pair<uint32_t, int64_t>>> waits;
+  /// source stmt -> slot, for sources whose post fires right after each
+  /// execution (statements not nested in an inner loop; everything else
+  /// is covered by the end-of-iteration backstop post).
+  std::map<const Stmt*, uint32_t> posts;
+};
+
+/// One ring cell, reused by iterations o, o+R, o+2R, ... The window gate
+/// (iteration o spins on cell[o%R].done >= o-R before starting) makes
+/// the per-lap reuse unambiguous: tags are monotone per cell, and a tag
+/// >= the wanted ordinal proves that ordinal's post fired (a later lap
+/// can only run after the wanted lap fully completed).
+struct DoaCell {
+  std::atomic<int64_t> done{-1};
+  std::unique_ptr<std::atomic<int64_t>[]> posted;
+};
+
+/// Recorded sync/busy trace of one iteration, replayed post-region by
+/// the event-driven makespan model (busy offsets exclude spin time).
+struct DoaEvent {
+  bool is_wait = false;
+  uint32_t slot = 0;
+  int64_t dep = -1;   // waited-on ordinal (waits only)
+  double at = 0;      // busy offset within the iteration
+};
+struct DoaIterRec {
+  std::vector<DoaEvent> events;
+  double busy = 0;
+};
+
+/// Thrown inside a Doacross worker when a sibling faulted: unwinds the
+/// in-flight iteration so the barrier can rethrow the sibling's error.
+struct DoaCancel {};
+
+struct DoaCtx;
+thread_local DoaCtx* t_doa = nullptr;
+
+double threadCpuSecondsNow() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+/// Per-worker state of an active Doacross region, installed in t_doa
+/// while the worker executes loop-body statements.
+struct DoaCtx {
+  const DoaTables* tables = nullptr;
+  DoaCell* cells = nullptr;
+  int64_t ring = 2;
+  ThreadPool* pool = nullptr;
+  int64_t ordinal = 0;
+  DoaIterRec* rec = nullptr;
+  double cpu_base = 0;
+  double spin_cpu = 0;
+  uint64_t wait_count = 0;
+
+  double busyNow() const { return threadCpuSecondsNow() - cpu_base - spin_cpu; }
+
+  void beforeStmt(const Stmt* s) {
+    auto it = tables->waits.find(s);
+    if (it == tables->waits.end()) return;
+    for (const auto& [slot, dist] : it->second) {
+      int64_t want = ordinal - dist;
+      if (want < 0) continue;
+      ++wait_count;
+      if (rec && rec->events.size() < 256)
+        rec->events.push_back({true, slot, want, busyNow()});
+      DoaCell& cell = cells[want % ring];
+      if (cell.posted[slot].load(std::memory_order_acquire) >= want)
+        continue;
+      double sp0 = threadCpuSecondsNow();
+      while (cell.posted[slot].load(std::memory_order_acquire) < want) {
+        if (pool->cancelRequested()) {
+          spin_cpu += threadCpuSecondsNow() - sp0;
+          throw DoaCancel{};
+        }
+        std::this_thread::yield();
+      }
+      spin_cpu += threadCpuSecondsNow() - sp0;
+    }
+  }
+
+  void afterStmt(const Stmt* s) {
+    auto it = tables->posts.find(s);
+    if (it == tables->posts.end()) return;
+    if (rec && rec->events.size() < 256)
+      rec->events.push_back({false, it->second, -1, busyNow()});
+    cells[ordinal % ring].posted[it->second].store(
+        ordinal, std::memory_order_release);
+  }
+};
+
+/// RAII installer for t_doa (exception-safe against RuntimeError and
+/// DoaCancel unwinding through execBlock).
+struct DoaScope {
+  explicit DoaScope(DoaCtx* ctx) { t_doa = ctx; }
+  ~DoaScope() { t_doa = nullptr; }
+};
+
 class Interp {
  public:
   Interp(const Program& program, const InterpOptions& opt)
@@ -57,7 +166,11 @@ class Interp {
     // Instrumented runs (ELPD or race oracle) are sequential by contract:
     // the collectors are not thread-safe, and the elpd_/race_active_ flags
     // below are plain bools that may only be toggled single-threaded.
-    if (opt_.plans && opt_.num_threads > 1 && !opt_.race && !opt_.elpd)
+    // A single-threaded plan run still gets a (worker-less) pool: planned
+    // loops then take the same block decomposition and per-block
+    // reduction combine as multi-threaded runs, so results are
+    // bit-identical across 1..N threads and all scheduler policies.
+    if (opt_.plans && opt_.num_threads >= 1 && !opt_.race && !opt_.elpd)
       pool_ = std::make_unique<ThreadPool>(opt_.num_threads);
   }
 
@@ -268,6 +381,20 @@ class Interp {
   }
 
   bool execStmt(const Stmt& s, Frame& frame) {
+    // Doacross post/wait hooks: inside a pipelined region every worker
+    // waits before executing a sync sink and posts after executing a
+    // sync source (t_doa is null everywhere else — one predictable
+    // branch per statement).
+    if (t_doa) {
+      t_doa->beforeStmt(&s);
+      bool ret = execStmtImpl(s, frame);
+      t_doa->afterStmt(&s);
+      return ret;
+    }
+    return execStmtImpl(s, frame);
+  }
+
+  bool execStmtImpl(const Stmt& s, Frame& frame) {
     switch (s.kind) {
       case StmtKind::Assign: {
         const auto& as = static_cast<const AssignStmt&>(s);
@@ -392,7 +519,8 @@ class Interp {
     if (opt_.plans && !in_parallel_ && pool_) {
       plan = opt_.plans->planFor(&loop);
       if (plan && plan->status != LoopStatus::Parallel &&
-          plan->status != LoopStatus::RuntimeTest)
+          plan->status != LoopStatus::RuntimeTest &&
+          plan->status != LoopStatus::Doacross)
         plan = nullptr;
     }
 
@@ -421,10 +549,16 @@ class Interp {
         plan = nullptr;  // fall back to the sequential version
     }
 
+    double region_sim = -1;
     if (plan && step > 0 && lb <= ub) {
-      execForParallel(loop, *plan, frame, lb, ub, step);
+      if (plan->status == LoopStatus::Doacross) {
+        region_sim = execForDoacross(loop, *plan, frame, lb, ub, step);
+        ++stats_.doacross_loops_entered;
+      } else {
+        region_sim = execForParallel(loop, *plan, frame, lb, ub, step);
+        ++stats_.parallel_loops_entered;
+      }
       iters = static_cast<uint64_t>((ub - lb) / step + 1);
-      ++stats_.parallel_loops_entered;
     } else {
       returned = execForSequential(loop, frame, lb, ub, step, iters);
     }
@@ -436,7 +570,9 @@ class Interp {
       LoopProfile& prof = stats_.profiles[&loop];
       ++prof.invocations;
       prof.iterations += iters;
-      prof.seconds += std::chrono::duration<double>(t1 - t0).count();
+      double wall = std::chrono::duration<double>(t1 - t0).count();
+      prof.seconds += wall;
+      prof.simulated_seconds += region_sim >= 0 ? region_sim : wall;
     }
     return returned;
   }
@@ -511,33 +647,18 @@ class Interp {
     return returned;
   }
 
-  static double threadCpuSeconds() {
-    timespec ts;
-    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
-    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
-  }
+  static double threadCpuSeconds() { return threadCpuSecondsNow(); }
 
-  void execForParallel(const ForStmt& loop, const LoopPlan& plan,
-                       Frame& frame, int64_t lb, int64_t ub, int64_t step) {
-    auto wall0 = std::chrono::steady_clock::now();
-    unsigned T = pool_->size();
-    auto chunks = splitIterations(lb, ub, step, T);
-    // Identify the last non-empty chunk (owns copy-out).
-    int last_chunk = -1;
-    for (int p = static_cast<int>(T) - 1; p >= 0; --p) {
-      if (chunks[p].first <= chunks[p].second) {
-        last_chunk = p;
-        break;
-      }
-    }
-
-    std::vector<Frame> thread_frames(T);
-    for (unsigned t = 0; t < T; ++t) thread_frames[t] = frame;  // shallow copy
-
-    // Privatized arrays: per-thread storage (copy-in or zero-init).
+  /// Prepare the per-worker shallow frames (plus one dedicated frame for
+  /// the final block, which owns copy-out) with fresh privatized array
+  /// copies. Returns T+1 frames; index T is the final-block frame.
+  std::vector<Frame> makeWorkerFrames(const LoopPlan& plan, Frame& frame,
+                                      unsigned T) {
+    std::vector<Frame> frames(T + 1);
+    for (auto& f : frames) f = frame;  // shallow copy (shared arrays alias)
     for (const auto& pa : plan.privatized) {
       const Cell& shared = frame[pa.array->local_id];
-      for (unsigned t = 0; t < T; ++t) {
+      for (auto& f : frames) {
         auto priv = std::make_shared<ArrayStorage>();
         priv->elem = shared.array->elem;
         priv->dims = shared.array->dims;
@@ -550,96 +671,131 @@ class Interp {
               pa.copy_in ? *shared.array->ints
                          : std::vector<int64_t>(shared.array->size(), 0));
         }
-        thread_frames[t][pa.array->local_id].array = std::move(priv);
+        f[pa.array->local_id].array = std::move(priv);
       }
     }
-    // Reductions: identity per thread.
-    for (const auto& red : plan.reductions) {
-      for (unsigned t = 0; t < T; ++t) {
-        Cell& c = thread_frames[t][red.scalar->local_id];
-        bool is_int = red.scalar->elem_type == Type::Int;
-        switch (red.op) {
-          case ReductionOp::Sum:
-            c.i = 0; c.r = 0; break;
-          case ReductionOp::Prod:
-            c.i = 1; c.r = 1; break;
-          case ReductionOp::Min:
-            c.i = std::numeric_limits<int64_t>::max();
-            c.r = std::numeric_limits<double>::infinity();
-            break;
-          case ReductionOp::Max:
-            c.i = std::numeric_limits<int64_t>::min();
-            c.r = -std::numeric_limits<double>::infinity();
-            break;
-        }
-        (void)is_int;
-      }
+    return frames;
+  }
+
+  static void setReductionIdentity(const ScalarReduction& red, Cell& c) {
+    switch (red.op) {
+      case ReductionOp::Sum:
+        c.i = 0; c.r = 0; break;
+      case ReductionOp::Prod:
+        c.i = 1; c.r = 1; break;
+      case ReductionOp::Min:
+        c.i = std::numeric_limits<int64_t>::max();
+        c.r = std::numeric_limits<double>::infinity();
+        break;
+      case ReductionOp::Max:
+        c.i = std::numeric_limits<int64_t>::min();
+        c.r = -std::numeric_limits<double>::infinity();
+        break;
     }
+  }
+
+  static void applyReduction(const ScalarReduction& red, Cell& into,
+                             int64_t i, double r) {
+    bool is_int = red.scalar->elem_type == Type::Int;
+    switch (red.op) {
+      case ReductionOp::Sum:
+        if (is_int) into.i += i; else into.r += r;
+        break;
+      case ReductionOp::Prod:
+        if (is_int) into.i *= i; else into.r *= r;
+        break;
+      case ReductionOp::Min:
+        if (is_int) into.i = std::min(into.i, i);
+        else into.r = std::min(into.r, r);
+        break;
+      case ReductionOp::Max:
+        if (is_int) into.i = std::max(into.i, i);
+        else into.r = std::max(into.r, r);
+        break;
+    }
+  }
+
+  /// Copy-out from the final-block frame: privatized arrays and scalars
+  /// take the values left by the globally-last block (which contains the
+  /// last iteration — the analysis guarantees per-iteration definition,
+  /// so any contiguous tail is equivalent and the choice is
+  /// policy-invariant).
+  void copyOutFrom(const LoopPlan& plan, Frame& frame, Frame& lf) {
+    for (const auto& pa : plan.privatized) {
+      if (!pa.copy_out) continue;
+      Cell& shared = frame[pa.array->local_id];
+      const Cell& priv = lf[pa.array->local_id];
+      if (shared.array->elem == Type::Real)
+        *shared.array->reals = *priv.array->reals;
+      else
+        *shared.array->ints = *priv.array->ints;
+    }
+    for (const VarDecl* sc : plan.copy_out_scalars)
+      frame[sc->local_id] = lf[sc->local_id];
+  }
+
+  /// DOALL execution over the block scheduler. Returns the simulated
+  /// P-processor cost of this region (serial prologue/epilogue at wall
+  /// time, parallel region at max-over-workers busy time).
+  double execForParallel(const ForStmt& loop, const LoopPlan& plan,
+                         Frame& frame, int64_t lb, int64_t ub,
+                         int64_t step) {
+    auto wall0 = std::chrono::steady_clock::now();
+    unsigned T = pool_->size();
+    LoopRange range{lb, ub, step};
+    uint64_t trip = loopTripCount(range);
+    int64_t chunk = resolveChunk(trip, opt_.chunk);
+    uint64_t nblocks = blockCount(trip, chunk);
+
+    std::vector<Frame> frames = makeWorkerFrames(plan, frame, T);
+
+    // Per-block reduction partials, combined in ascending block order
+    // after the barrier: the grouping depends only on the block
+    // decomposition, so sums are bit-identical across policies/threads.
+    struct RedPart {
+      int64_t i;
+      double r;
+    };
+    std::vector<std::vector<RedPart>> partials(plan.reductions.size());
+    for (auto& v : partials) v.resize(nblocks);
 
     auto region0 = std::chrono::steady_clock::now();
     std::vector<double> busy(T, 0.0);
     bool prev_in_parallel = in_parallel_;
     in_parallel_ = true;
-    pool_->runOnAll([&](unsigned t) {
-      double cpu0 = threadCpuSeconds();
-      auto [first, last] = chunks[t];
-      Frame& tf = thread_frames[t];
-      for (int64_t i = first; i <= last; i += step) {
-        // Cooperative cancellation: when a sibling worker faulted there
-        // is no point finishing this chunk — the dispatch rethrows the
-        // sibling's error at the barrier anyway.
-        if (pool_->cancelRequested()) break;
-        tf[loop.index_decl->local_id].i = i;
-        execBlock(*loop.body, tf);
-      }
-      busy[t] = threadCpuSeconds() - cpu0;
-    });
+    runBlocks(*pool_, range, chunk, opt_.sched,
+              [&](unsigned t, const LoopBlock& blk) {
+                double cpu0 = threadCpuSeconds();
+                Frame& tf = frames[blk.index == nblocks - 1 ? T : t];
+                for (size_t r = 0; r < plan.reductions.size(); ++r)
+                  setReductionIdentity(
+                      plan.reductions[r],
+                      tf[plan.reductions[r].scalar->local_id]);
+                int64_t i = blk.first;
+                for (uint64_t k = 0; k < blk.iters; ++k, i += step) {
+                  // Cooperative cancellation: a sibling faulted; the
+                  // barrier rethrows its error anyway.
+                  if (pool_->cancelRequested()) break;
+                  tf[loop.index_decl->local_id].i = i;
+                  execBlock(*loop.body, tf);
+                }
+                for (size_t r = 0; r < plan.reductions.size(); ++r) {
+                  const Cell& c = tf[plan.reductions[r].scalar->local_id];
+                  partials[r][blk.index] = {c.i, c.r};
+                }
+                busy[t] += threadCpuSeconds() - cpu0;
+              });
     in_parallel_ = prev_in_parallel;
     auto region1 = std::chrono::steady_clock::now();
 
-    // Combine reductions into the shared frame.
-    for (const auto& red : plan.reductions) {
-      Cell& shared = frame[red.scalar->local_id];
-      bool is_int = red.scalar->elem_type == Type::Int;
-      for (unsigned t = 0; t < T; ++t) {
-        const Cell& c = thread_frames[t][red.scalar->local_id];
-        switch (red.op) {
-          case ReductionOp::Sum:
-            if (is_int) shared.i += c.i; else shared.r += c.r;
-            break;
-          case ReductionOp::Prod:
-            if (is_int) shared.i *= c.i; else shared.r *= c.r;
-            break;
-          case ReductionOp::Min:
-            if (is_int) shared.i = std::min(shared.i, c.i);
-            else shared.r = std::min(shared.r, c.r);
-            break;
-          case ReductionOp::Max:
-            if (is_int) shared.i = std::max(shared.i, c.i);
-            else shared.r = std::max(shared.r, c.r);
-            break;
-        }
-      }
+    for (size_t r = 0; r < plan.reductions.size(); ++r) {
+      Cell& shared = frame[plan.reductions[r].scalar->local_id];
+      for (uint64_t b = 0; b < nblocks; ++b)
+        applyReduction(plan.reductions[r], shared, partials[r][b].i,
+                       partials[r][b].r);
     }
-    // Copy-out: privatized arrays and scalars take the last chunk's values.
-    if (last_chunk >= 0) {
-      Frame& lf = thread_frames[static_cast<unsigned>(last_chunk)];
-      for (const auto& pa : plan.privatized) {
-        if (!pa.copy_out) continue;
-        Cell& shared = frame[pa.array->local_id];
-        const Cell& priv = lf[pa.array->local_id];
-        if (shared.array->elem == Type::Real)
-          *shared.array->reals = *priv.array->reals;
-        else
-          *shared.array->ints = *priv.array->ints;
-      }
-      for (const VarDecl* sc : plan.copy_out_scalars) {
-        frame[sc->local_id] = lf[sc->local_id];
-      }
-    }
+    if (nblocks > 0) copyOutFrom(plan, frame, frames[T]);
 
-    // Simulated P-processor cost: serial prologue/epilogue at wall time,
-    // parallel region at max-over-workers busy time.
     auto wall1 = std::chrono::steady_clock::now();
     double wall = std::chrono::duration<double>(wall1 - wall0).count();
     double region_wall =
@@ -647,13 +803,225 @@ class Interp {
     double max_busy = 0;
     for (double b : busy) max_busy = std::max(max_busy, b);
     parallel_wall_ += wall;
-    parallel_simulated_ += (wall - region_wall) + max_busy;
+    double sim = (wall - region_wall) + max_busy;
+    parallel_simulated_ += sim;
+    return sim;
+  }
+
+  /// Post/wait tables for one Doacross plan (built once, single-threaded
+  /// — execFor only reaches this outside parallel regions).
+  const DoaTables& doaTablesFor(const LoopPlan& plan) {
+    auto it = doa_tables_.find(&plan);
+    if (it != doa_tables_.end()) return it->second;
+    DoaTables tables;
+    SyncOrderInfo info = buildSyncOrderInfo(*plan.loop);
+    std::map<const Stmt*, uint32_t> slot_of;
+    for (const auto& req : plan.syncs) {
+      if (req.eliminated) continue;
+      auto [sit, fresh] = slot_of.try_emplace(
+          req.source, static_cast<uint32_t>(tables.slots.size()));
+      if (fresh) {
+        tables.slots.push_back(req.source);
+        if (info.immediate_post.count(req.source))
+          tables.posts[req.source] = sit->second;
+      }
+      tables.waits[req.sink].push_back({sit->second, req.distance});
+    }
+    return doa_tables_.emplace(&plan, std::move(tables)).first->second;
+  }
+
+  /// Event-driven makespan model for a recorded Doacross region: replay
+  /// the per-iteration busy/wait/post traces on T virtual workers under
+  /// the canonical block-cyclic assignment (block b -> worker b mod T),
+  /// honoring the sliding window. Processing blocks in ascending index
+  /// order is valid because waits and the window gate only reference
+  /// strictly smaller ordinals.
+  static double doaSimulate(const std::vector<DoaIterRec>& recs, unsigned T,
+                            int64_t ring, size_t nslots, int64_t chunk,
+                            uint64_t nblocks) {
+    uint64_t trip = recs.size();
+    std::vector<double> post_time(trip * std::max<size_t>(nslots, 1), -1.0);
+    std::vector<double> done(trip, 0.0);
+    std::vector<double> wclock(T, 0.0);
+    uint64_t c = static_cast<uint64_t>(chunk);
+    for (uint64_t b = 0; b < nblocks; ++b) {
+      unsigned w = static_cast<unsigned>(b % T);
+      uint64_t first = b * c, last = std::min(trip, first + c);
+      for (uint64_t o = first; o < last; ++o) {
+        double t = wclock[w];
+        if (static_cast<int64_t>(o) >= ring)
+          t = std::max(t, done[o - static_cast<uint64_t>(ring)]);
+        const DoaIterRec& r = recs[o];
+        double prev = 0;
+        for (const DoaEvent& ev : r.events) {
+          t += std::max(0.0, ev.at - prev);
+          prev = ev.at;
+          if (ev.is_wait) {
+            if (ev.dep >= 0 && static_cast<uint64_t>(ev.dep) < o) {
+              double pt = post_time[static_cast<uint64_t>(ev.dep) * nslots +
+                                    ev.slot];
+              if (pt >= 0) t = std::max(t, pt);
+            }
+          } else {
+            double& pt = post_time[o * nslots + ev.slot];
+            if (pt < 0) pt = t;
+          }
+        }
+        t += std::max(0.0, r.busy - prev);
+        for (size_t s = 0; s < nslots; ++s) {
+          double& pt = post_time[o * nslots + s];
+          if (pt < 0) pt = t;  // end-of-iteration backstop post
+        }
+        done[o] = t;
+        wclock[w] = t;
+      }
+    }
+    double makespan = 0;
+    for (double t : wclock) makespan = std::max(makespan, t);
+    return makespan;
+  }
+
+  /// Pipelined (Doacross) execution: per-iteration post/wait cells in a
+  /// ring of `window` slots; iteration o may not start before iteration
+  /// o - window completed. Returns the simulated region cost.
+  double execForDoacross(const ForStmt& loop, const LoopPlan& plan,
+                         Frame& frame, int64_t lb, int64_t ub,
+                         int64_t step) {
+    auto wall0 = std::chrono::steady_clock::now();
+    unsigned T = pool_->size();
+    LoopRange range{lb, ub, step};
+    uint64_t trip = loopTripCount(range);
+    // Fine-grained blocks by default: pipelining wants the smallest
+    // grain that amortizes dispatch.
+    int64_t chunk = opt_.chunk >= 1 ? opt_.chunk : 1;
+    uint64_t nblocks = blockCount(trip, chunk);
+    int64_t ring = std::max<int64_t>(2, opt_.doacross_window);
+
+    const DoaTables& tables = doaTablesFor(plan);
+    size_t nslots = tables.slots.size();
+    std::vector<DoaCell> cells(static_cast<size_t>(ring));
+    for (auto& cell : cells) {
+      cell.posted =
+          std::make_unique<std::atomic<int64_t>[]>(std::max<size_t>(nslots, 1));
+      for (size_t s = 0; s < nslots; ++s)
+        cell.posted[s].store(-1, std::memory_order_relaxed);
+    }
+
+    // Record per-iteration sync traces for the makespan model, unless
+    // the region is too large to afford it (then fall back to the DOALL
+    // max-busy model).
+    constexpr uint64_t kSimCap = uint64_t{1} << 16;
+    bool recording = trip <= kSimCap;
+    std::vector<DoaIterRec> recs(recording ? trip : 0);
+
+    std::vector<Frame> frames = makeWorkerFrames(plan, frame, T);
+    std::vector<double> busy(T, 0.0);
+    std::atomic<uint64_t> waits_total{0};
+
+    // Reductions recognized by the scalar phase before the array phase
+    // fell back: same per-block partials + block-order combine as DOALL.
+    struct RedPart {
+      int64_t i;
+      double r;
+    };
+    std::vector<std::vector<RedPart>> partials(plan.reductions.size());
+    for (auto& v : partials) v.resize(nblocks);
+
+    auto region0 = std::chrono::steady_clock::now();
+    bool prev_in_parallel = in_parallel_;
+    in_parallel_ = true;
+    runBlocks(*pool_, range, chunk, opt_.sched,
+              [&](unsigned t, const LoopBlock& blk) {
+                Frame& tf = frames[blk.index == nblocks - 1 ? T : t];
+                DoaCtx ctx;
+                ctx.tables = &tables;
+                ctx.cells = cells.data();
+                ctx.ring = ring;
+                ctx.pool = pool_.get();
+                DoaScope scope(&ctx);
+                for (size_t r = 0; r < plan.reductions.size(); ++r)
+                  setReductionIdentity(
+                      plan.reductions[r],
+                      tf[plan.reductions[r].scalar->local_id]);
+                double block_busy = 0;
+                try {
+                  int64_t i = blk.first;
+                  for (uint64_t k = 0; k < blk.iters; ++k, i += step) {
+                    int64_t o = blk.first_ordinal + static_cast<int64_t>(k);
+                    // Window gate: wait for iteration o - ring (same
+                    // ring cell, previous lap) to fully complete.
+                    if (o >= ring) {
+                      DoaCell& gate = cells[o % ring];
+                      while (gate.done.load(std::memory_order_acquire) <
+                             o - ring) {
+                        if (pool_->cancelRequested()) throw DoaCancel{};
+                        std::this_thread::yield();
+                      }
+                    }
+                    ctx.ordinal = o;
+                    ctx.rec = recording ? &recs[static_cast<uint64_t>(o)]
+                                        : nullptr;
+                    ctx.cpu_base = threadCpuSeconds();
+                    ctx.spin_cpu = 0;
+                    tf[loop.index_decl->local_id].i = i;
+                    execBlock(*loop.body, tf);
+                    double busy_it = ctx.busyNow();
+                    if (ctx.rec) ctx.rec->busy = busy_it;
+                    block_busy += busy_it;
+                    // End of iteration: backstop-post every slot (covers
+                    // skipped conditional sources and inner-loop
+                    // sources), then publish completion.
+                    DoaCell& cell = cells[o % ring];
+                    for (size_t s = 0; s < nslots; ++s)
+                      cell.posted[s].store(o, std::memory_order_release);
+                    cell.done.store(o, std::memory_order_release);
+                  }
+                } catch (const DoaCancel&) {
+                }
+                for (size_t r = 0; r < plan.reductions.size(); ++r) {
+                  const Cell& c = tf[plan.reductions[r].scalar->local_id];
+                  partials[r][blk.index] = {c.i, c.r};
+                }
+                busy[t] += block_busy;
+                waits_total.fetch_add(ctx.wait_count,
+                                      std::memory_order_relaxed);
+              });
+    in_parallel_ = prev_in_parallel;
+    auto region1 = std::chrono::steady_clock::now();
+
+    for (size_t r = 0; r < plan.reductions.size(); ++r) {
+      Cell& shared = frame[plan.reductions[r].scalar->local_id];
+      for (uint64_t b = 0; b < nblocks; ++b)
+        applyReduction(plan.reductions[r], shared, partials[r][b].i,
+                       partials[r][b].r);
+    }
+    if (nblocks > 0) copyOutFrom(plan, frame, frames[T]);
+    stats_.doacross_waits += waits_total.load(std::memory_order_relaxed);
+
+    auto wall1 = std::chrono::steady_clock::now();
+    double wall = std::chrono::duration<double>(wall1 - wall0).count();
+    double region_wall =
+        std::chrono::duration<double>(region1 - region0).count();
+    double region_model;
+    if (recording && !pool_->cancelRequested()) {
+      region_model = doaSimulate(recs, T, ring, std::max<size_t>(nslots, 1),
+                                 chunk, nblocks);
+    } else {
+      double max_busy = 0;
+      for (double b : busy) max_busy = std::max(max_busy, b);
+      region_model = max_busy;
+    }
+    parallel_wall_ += wall;
+    double sim = (wall - region_wall) + region_model;
+    parallel_simulated_ += sim;
+    return sim;
   }
 
   const Program& program_;
   InterpOptions opt_;
   InterpStats stats_;
   std::unique_ptr<ThreadPool> pool_;
+  std::map<const LoopPlan*, DoaTables> doa_tables_;
   std::mutex sink_mu_;
   bool in_parallel_ = false;
   bool elpd_active_ = false;

@@ -25,6 +25,7 @@
 #include "dataflow/loop_plan.h"
 #include "lang/ast.h"
 #include "runtime/elpd.h"
+#include "runtime/scheduler.h"
 #include "runtime/thread_pool.h"
 
 namespace padfa {
@@ -79,6 +80,10 @@ struct LoopProfile {
   uint64_t invocations = 0;
   double seconds = 0;
   uint64_t iterations = 0;
+  /// Simulated P-processor cost of this loop's invocations: wall time
+  /// for sequential ones, the modeled parallel/pipelined region cost for
+  /// Parallel/Doacross ones (same model as InterpStats::simulated_seconds).
+  double simulated_seconds = 0;
 };
 
 struct InterpStats {
@@ -93,6 +98,10 @@ struct InterpStats {
   /// program would have.
   uint64_t runtime_tests_trapped = 0;
   uint64_t runtime_test_atoms = 0;  // total atoms evaluated (test cost)
+  /// Doacross (pipelined) loop regions entered, and post/wait events
+  /// actually executed inside them.
+  uint64_t doacross_loops_entered = 0;
+  uint64_t doacross_waits = 0;
   std::map<const ForStmt*, LoopProfile> profiles;
   double total_seconds = 0;
 
@@ -116,6 +125,15 @@ struct InterpOptions {
   RaceOracle* race = nullptr;
   /// Record per-loop timing.
   bool profile = false;
+  /// Block-scheduling policy and chunk for parallel loops (defaults read
+  /// PADFA_SCHED / PADFA_CHUNK). The block decomposition — and therefore
+  /// every computed value, including floating-point reduction grouping —
+  /// depends only on `chunk`, never on the policy or thread count.
+  SchedPolicy sched = schedPolicyFromEnv();
+  int64_t chunk = schedChunkFromEnv();
+  /// Doacross sliding-window bound (default PADFA_DOACROSS_WINDOW):
+  /// iteration i may not start before iteration i - window completed.
+  int64_t doacross_window = doacrossWindowFromEnv();
 };
 
 /// Execute `main` of an analyzed program. Throws RuntimeError on runtime

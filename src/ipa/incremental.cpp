@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "dataflow/doacross.h"
 #include "driver/plan_signature.h"
 #include "ipa/callgraph.h"
 #include "ipa/fingerprint.h"
@@ -208,6 +209,11 @@ std::optional<CompiledProgram> compileSourceIncremental(
 
   persistKind(prog, cp.base, cg, fps, store::kDeepKindBase, store);
   persistKind(prog, cp.pred, cg, fps, store::kDeepKindPred, store);
+
+  // Doacross upgrade after persistence: the store only ever sees
+  // pre-upgrade plans, so warm replays re-derive the same upgrades a
+  // cold run would (see dataflow/doacross.h).
+  upgradeDoacrossPlans(prog, cp.pred);
 
   size_t replayed_both = 0;
   std::vector<std::string> dirty_names, replayed_names;

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "audit/loop_conflicts.h"
+#include "dataflow/doacross.h"
 #include "predicate/pred.h"
 
 namespace padfa {
@@ -11,6 +12,7 @@ std::string_view certifyVerdictName(CertifyVerdict v) {
   switch (v) {
     case CertifyVerdict::Certified: return "certified";
     case CertifyVerdict::CertifiedTest: return "certified-test";
+    case CertifyVerdict::CertifiedSync: return "certified-sync";
     case CertifyVerdict::Inconclusive: return "inconclusive";
     case CertifyVerdict::Disagree: return "disagree";
   }
@@ -105,6 +107,25 @@ LoopCertificate certifyLoop(const Program& program, const LoopPlan& plan,
     return it->second;
   };
 
+  // Doacross discharge: an exact carried array edge with a constant
+  // distance is enforced (not raced) when the plan declares a sync
+  // requirement for exactly that (source stmt, sink stmt, distance).
+  // PDG distances are in index space; plan.syncs store iteration
+  // ordinals (index distance / constant step) — convert before matching.
+  auto syncDischarges = [&](const PdgEdge& e) {
+    if (plan.status != LoopStatus::Doacross || !e.exact || !e.distance)
+      return false;
+    std::optional<int64_t> step = doacrossConstStep(*plan.loop);
+    if (!step || *e.distance % *step != 0) return false;
+    const Stmt* src = proc_pdg->cfg.nodes[e.src].stmt;
+    const Stmt* dst = proc_pdg->cfg.nodes[e.dst].stmt;
+    for (const auto& s : plan.syncs)
+      if (s.source == src && s.sink == dst &&
+          s.distance == *e.distance / *step)
+        return true;
+    return false;
+  };
+
   for (const PdgEdge& e : proc_pdg->edges) {
     if (!e.carried || e.carrier != plan.loop) continue;
     if (e.kind == PdgEdgeKind::Control) continue;
@@ -120,7 +141,11 @@ LoopCertificate certifyLoop(const Program& program, const LoopPlan& plan,
       } else if (testDischarges(e.var)) {
         ++cert.discharged_test;
         raiseTo(cert, CertifyVerdict::CertifiedTest);
-      } else if (e.exact && plan.status == LoopStatus::Parallel) {
+      } else if (syncDischarges(e)) {
+        ++cert.discharged_sync;
+        raiseTo(cert, CertifyVerdict::CertifiedSync);
+      } else if (e.exact && (plan.status == LoopStatus::Parallel ||
+                             plan.status == LoopStatus::Doacross)) {
         ++cert.undischarged_exact;
         cert.notes.push_back("undischarged carried " + where);
         raiseTo(cert, CertifyVerdict::Disagree);
@@ -163,7 +188,8 @@ CertifyReport certifyPlans(const Program& program,
     const LoopPlan* plan = analysis.planFor(ln->loop);
     if (!plan) continue;
     if (plan->status != LoopStatus::Parallel &&
-        plan->status != LoopStatus::RuntimeTest)
+        plan->status != LoopStatus::RuntimeTest &&
+        plan->status != LoopStatus::Doacross)
       continue;
     report.loops.push_back(certifyLoop(program, *plan, pdg));
   }
@@ -180,7 +206,8 @@ namespace {
 int rankOf(CertifyVerdict v) {
   switch (v) {
     case CertifyVerdict::Certified:
-    case CertifyVerdict::CertifiedTest: return 0;
+    case CertifyVerdict::CertifiedTest:
+    case CertifyVerdict::CertifiedSync: return 0;
     case CertifyVerdict::Inconclusive: return 1;
     case CertifyVerdict::Disagree: return 2;
   }
@@ -190,7 +217,8 @@ int rankOf(CertifyVerdict v) {
 int rankOf(AuditVerdict v) {
   switch (v) {
     case AuditVerdict::Independent:
-    case AuditVerdict::DischargedTest: return 0;
+    case AuditVerdict::DischargedTest:
+    case AuditVerdict::DischargedSync: return 0;
     case AuditVerdict::Inconclusive: return 1;
     case AuditVerdict::Unsound: return 2;
   }

@@ -2,22 +2,25 @@
 // (DESIGN.md §11), alongside the static PlanAuditor and the dynamic race
 // oracle.
 //
-// For every loop the analysis planned Parallel or RuntimeTest, the
-// certifier collects the PDG's loop-carried data edges whose carrier is
-// that loop and checks that each one is discharged by the plan's own
-// declarations: array edges by privatization or (for RuntimeTest plans)
-// by the derived run-time test, scalar edges by privatization /
-// copy-out / reduction declarations.
+// For every loop the analysis planned Parallel, RuntimeTest, or
+// Doacross, the certifier collects the PDG's loop-carried data edges
+// whose carrier is that loop and checks that each one is discharged by
+// the plan's own declarations: array edges by privatization, (for
+// RuntimeTest plans) by the derived run-time test, or (for Doacross
+// plans) by a declared (source, sink, distance) sync requirement;
+// scalar edges by privatization / copy-out / reduction declarations.
 //
 // Verdict discipline mirrors the auditor's exactly, by construction:
 //
 //   Certified      — every carried edge discharged without the test
 //   CertifiedTest  — some edge needed the run-time test
+//   CertifiedSync  — some edge is enforced by a declared sync
 //   Inconclusive   — an undischarged edge exists but is approximate
 //                    (coarse modeling / scalar may-dep) — the race
 //                    oracle cross-examines, same as audit Inconclusive
 //   Disagree       — an undischarged EXACT carried array edge on a
-//                    Parallel plan: the graph contradicts the plan
+//                    Parallel/Doacross plan: the graph contradicts the
+//                    plan
 //
 // The three-way agreement invariant the corpus sweep asserts:
 //   certify(L) == Disagree  <=>  audit(L) == Unsound
@@ -36,6 +39,7 @@ namespace padfa {
 enum class CertifyVerdict : uint8_t {
   Certified,
   CertifiedTest,
+  CertifiedSync,
   Inconclusive,
   Disagree,
 };
@@ -50,6 +54,7 @@ struct LoopCertificate {
   size_t carried_edges = 0;      // carried data edges with this carrier
   size_t discharged_plan = 0;    // by privatization/reduction declarations
   size_t discharged_test = 0;    // by the run-time test
+  size_t discharged_sync = 0;    // by a declared sync requirement
   size_t undischarged_exact = 0;
   size_t undischarged_approx = 0;
   std::vector<std::string> notes;
@@ -62,8 +67,9 @@ struct CertifyReport {
   bool clean() const { return count(CertifyVerdict::Disagree) == 0; }
 };
 
-/// Certify every Parallel / RuntimeTest plan against the PDG. The report
-/// covers exactly the loops auditPlans() audits, in the same order.
+/// Certify every Parallel / RuntimeTest / Doacross plan against the PDG.
+/// The report covers exactly the loops auditPlans() audits, in the same
+/// order.
 CertifyReport certifyPlans(const Program& program,
                            const AnalysisResult& analysis,
                            const LoopTree& loops, const ProgramPdg& pdg);

@@ -107,7 +107,13 @@ unsigned analysisThreadCount();
 
 /// Split the inclusive iteration range [lo, hi] with stride `step` into
 /// `parts` contiguous chunks. Returns per-part inclusive [first, last]
-/// pairs; empty parts have first > last.
+/// pairs; empty parts are marked first > last for a positive step and
+/// first < last for a negative one (i.e. the marker runs against the
+/// step direction). Supports negative steps (hi <= lo), ranges whose
+/// trip count exceeds `parts`, and bounds anywhere in the int64 domain
+/// (the trip count is computed in unsigned arithmetic, so e.g.
+/// [INT64_MIN, INT64_MAX] does not overflow). A zero step yields all
+/// empty parts.
 std::vector<std::pair<int64_t, int64_t>> splitIterations(int64_t lo,
                                                          int64_t hi,
                                                          int64_t step,

@@ -28,6 +28,7 @@ TEST(Classify, AllOutcomeKindsHaveNames) {
             "pred-parallel-ct");
   EXPECT_EQ(loopOutcomeName(LoopOutcome::PredParallelRT),
             "pred-parallel-rt");
+  EXPECT_EQ(loopOutcomeName(LoopOutcome::PredDoacross), "pred-doacross");
   EXPECT_EQ(loopOutcomeName(LoopOutcome::SequentialBoth), "sequential");
   EXPECT_EQ(loopOutcomeName(LoopOutcome::NotCandidate), "not-candidate");
   EXPECT_EQ(loopOutcomeName(LoopOutcome::NestedInParallel),
@@ -45,8 +46,11 @@ proc main() {
 }
 )");
   EXPECT_EQ(outcomeAt(cp, 4), LoopOutcome::BaseParallel);
-  // The inner loop is a recurrence but lives inside a parallel loop.
-  EXPECT_EQ(outcomeAt(cp, 5), LoopOutcome::NestedInParallel);
+  // The inner loop is a constant-distance recurrence, so the Doacross
+  // upgrade claims it (plan status outranks nestedness, as for CT/RT);
+  // at run time it still executes sequentially inside the parallel
+  // outer loop.
+  EXPECT_EQ(outcomeAt(cp, 5), LoopOutcome::PredDoacross);
   for (const LoopNode* node : cp.loops.allLoops()) {
     if (node->loop->loc.line == 5) {
       EXPECT_TRUE(nestedInsideParallelized(cp, node->loop, cp.base));
@@ -140,13 +144,11 @@ proc main() {
   sink(v[8]);
 }
 )");
-  LoopOutcome o = outcomeAt(cp, 4);
-  EXPECT_TRUE(o == LoopOutcome::SequentialBoth ||
-              o == LoopOutcome::BaseParallel)
-      << loopOutcomeName(o);
   // Writes of distinct iterations overlap; the write region varies per
   // iteration, so last-value copy-out privatization is not applicable.
-  EXPECT_EQ(o, LoopOutcome::SequentialBoth);
+  // The output dependence has constant iteration distance 1 (index
+  // distance 2 over step 2), so the Doacross upgrade pipelines it.
+  EXPECT_EQ(outcomeAt(cp, 4), LoopOutcome::PredDoacross);
 }
 
 TEST(Shapes, OuterIndexInInnerSubscript) {
@@ -169,6 +171,8 @@ proc main() {
 TEST(Shapes, TwoArraysSwapStaysSequential) {
   // Ping-pong through a scalar-free cycle: a reads b, b reads a shifted —
   // the b write feeding next iteration's a read is a flow dependence.
+  // Both carried flows have constant distance 1, so no system DOALLs it
+  // but the Doacross upgrade pipelines it with two post/wait pairs.
   auto cp = compileOk(R"(
 proc main() {
   real a[100];
@@ -181,7 +185,7 @@ proc main() {
   sink(a[50] + b[50]);
 }
 )");
-  EXPECT_EQ(outcomeAt(cp, 6), LoopOutcome::SequentialBoth);
+  EXPECT_EQ(outcomeAt(cp, 6), LoopOutcome::PredDoacross);
 }
 
 TEST(Shapes, ReadOnlySharedArrayIsFine) {
