@@ -1,0 +1,240 @@
+// Experiment E7 — the predicate-aware value-range analysis and its
+// three clients (DESIGN.md §15).
+//
+// Per corpus program, with VRA on:
+//
+//  * plan rewrites: RuntimeTest plans discharged to Parallel at compile
+//    time (CT-promotion), RuntimeTest plans proved dead and demoted to
+//    Sequential, and Doacross upgrades the profitability guard rejected;
+//  * the range-sharpened MF-lint findings (padfa-div-by-zero,
+//    padfa-dead-branch, and the range-powered padfa-oob /
+//    trip-count upgrades fire on provable facts only — the corpus is
+//    expected to be clean);
+//  * analysis overhead: wall time of the full compile with VRA on vs
+//    off (the range fixpoint is a small fraction of the pipeline);
+//  * dispatch savings: run-time test evaluations pruned by promotions
+//    over the reference execution.
+//
+// Correctness-shaped: the harness aborts unless at least one corpus
+// run-time test is discharged at compile time, every promotion survives
+// the plan auditor, and the race oracle observes zero violations.
+//
+// Invoke with `--json <path>` for the machine-readable point committed
+// under bench/trajectory/.
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "audit/lint.h"
+#include "audit/plan_audit.h"
+#include "audit/race_oracle.h"
+#include "bench_util.h"
+#include "runtime/thread_pool.h"
+#include "support/json.h"
+#include "support/table.h"
+#include "vra/vra.h"
+
+using namespace padfa;
+using namespace padfa::bench;
+
+namespace {
+
+struct EntryStats {
+  std::string name;
+  int promoted = 0, demoted = 0, doacross_cost = 0;
+  int lint_range = 0;            // range-powered checker findings
+  uint64_t tests_pruned = 0;     // dispatches skipped at run time
+  int audit_unsound = 0;
+  int oracle_violations = 0;
+  double on_seconds = 0, off_seconds = 0;
+  std::vector<std::pair<std::string, uint32_t>> promoted_loops;
+};
+
+double wallSeconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+EntryStats computeEntry(const CorpusEntry& e) {
+  EntryStats s;
+  s.name = e.name;
+  const std::string source = instantiate(e);
+
+  // Timed A/B compile. The off-compile also pins the baseline the
+  // promotion deltas are measured against.
+  CompiledProgram cp = [&] {
+    DiagEngine diags;
+    std::optional<CompiledProgram> r;
+    s.on_seconds = wallSeconds([&] { r = compileSource(source, diags); });
+    if (!r) {
+      std::fprintf(stderr, "%s failed to compile:\n%s\n", e.name.c_str(),
+                   diags.dump().c_str());
+      std::exit(1);
+    }
+    return std::move(*r);
+  }();
+  s.off_seconds = wallSeconds([&] {
+    vra::setVraEnabled(false);
+    DiagEngine diags;
+    auto off = compileSource(source, diags);
+    vra::clearVraEnabledOverride();
+    if (!off) std::exit(1);
+  });
+
+  for (const auto& [loop, plan] : cp.pred.plans) {
+    switch (plan.vra_action) {
+      case VraAction::PromotedParallel:
+        ++s.promoted;
+        s.promoted_loops.emplace_back(loop->loop_id, loop->loc.line);
+        break;
+      case VraAction::DemotedSequential:
+        ++s.demoted;
+        break;
+      case VraAction::DoacrossCost:
+        ++s.doacross_cost;
+        break;
+      case VraAction::None:
+        break;
+    }
+  }
+
+  // Range-sharpened lint over the corpus program (expected clean: these
+  // checkers only fire on provable bugs).
+  DiagEngine lint_diags;
+  runLint(*cp.program, cp.loops, lint_diags);
+  for (const char* id : {"padfa-div-by-zero", "padfa-dead-branch",
+                         "padfa-oob", "padfa-loop-never-runs",
+                         "padfa-loop-single-trip"})
+    s.lint_range += static_cast<int>(lint_diags.countWithId(id));
+
+  // Verification tripod over the promotions.
+  DiagEngine audit_diags;
+  AuditReport audit = auditPlans(*cp.program, cp.pred, audit_diags);
+  s.audit_unsound = static_cast<int>(audit.count(AuditVerdict::Unsound));
+  RaceOracle oracle(*cp.program, cp.pred);
+  InterpOptions opt;
+  opt.plans = &cp.pred;
+  opt.race = &oracle;
+  execute(*cp.program, opt);
+  s.oracle_violations = static_cast<int>(oracle.violationCount());
+  // Pruned-dispatch count comes from a plain run: the oracle run above
+  // executes audited loops on the sequential instrumentation path,
+  // which never reaches the two-version dispatch.
+  InterpOptions plain;
+  plain.plans = &cp.pred;
+  s.tests_pruned = execute(*cp.program, plain).runtime_tests_pruned;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = extractJsonFlag(&argc, argv);
+  PerfStats::instance().resetAll();
+
+  // The A/B wall-clock compare shares process-global state (the VRA
+  // override), so entries run serially.
+  std::vector<EntryStats> rows;
+  for (const CorpusEntry& e : corpus()) rows.push_back(computeEntry(e));
+
+  TextTable table({"program", "CT-promoted", "demoted", "doacross-cost",
+                   "lint", "tests-pruned", "compile-on(s)",
+                   "compile-off(s)"});
+  int tot_promoted = 0, tot_demoted = 0, tot_cost = 0, tot_lint = 0;
+  int tot_unsound = 0, tot_violations = 0;
+  uint64_t tot_pruned = 0;
+  double tot_on = 0, tot_off = 0;
+  char buf[32];
+  for (const EntryStats& s : rows) {
+    if (s.promoted + s.demoted + s.doacross_cost + s.lint_range == 0 &&
+        s.tests_pruned == 0)
+      continue;  // table lists only programs VRA touched
+    std::string on, off;
+    std::snprintf(buf, sizeof(buf), "%.4f", s.on_seconds);
+    on = buf;
+    std::snprintf(buf, sizeof(buf), "%.4f", s.off_seconds);
+    off = buf;
+    table.addRow({s.name, std::to_string(s.promoted),
+                  std::to_string(s.demoted),
+                  std::to_string(s.doacross_cost),
+                  std::to_string(s.lint_range),
+                  std::to_string(s.tests_pruned), on, off});
+  }
+  for (const EntryStats& s : rows) {
+    tot_promoted += s.promoted;
+    tot_demoted += s.demoted;
+    tot_cost += s.doacross_cost;
+    tot_lint += s.lint_range;
+    tot_pruned += s.tests_pruned;
+    tot_unsound += s.audit_unsound;
+    tot_violations += s.oracle_violations;
+    tot_on += s.on_seconds;
+    tot_off += s.off_seconds;
+  }
+  std::printf("Figure: value-range analysis across the corpus "
+              "(programs VRA touched)\n%s\n",
+              table.render().c_str());
+  std::printf("CT-promotions %d, demotions %d, doacross-cost rejections "
+              "%d, range-lint findings %d\n",
+              tot_promoted, tot_demoted, tot_cost, tot_lint);
+  std::printf("run-time test dispatches pruned on the reference inputs: "
+              "%llu\n",
+              static_cast<unsigned long long>(tot_pruned));
+  std::printf("compile wall time: %.3fs with VRA, %.3fs without "
+              "(overhead %.1f%%)\n",
+              tot_on, tot_off,
+              tot_off > 0 ? (tot_on / tot_off - 1.0) * 100.0 : 0.0);
+  std::printf("verification: %d unsound audits, %d oracle violations "
+              "across promoted corpus plans\n",
+              tot_unsound, tot_violations);
+  std::printf("%s\n", PerfStats::instance().report().c_str());
+
+  bool ok = tot_promoted >= 1 && tot_unsound == 0 && tot_violations == 0;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: expected >=1 CT-promotion with a clean tripod "
+                 "(promoted %d, unsound %d, violations %d)\n",
+                 tot_promoted, tot_unsound, tot_violations);
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    JsonValue root = JsonValue::object();
+    root.set("bench", JsonValue::of(std::string("vra")));
+    root.set("promotions", JsonValue::of(int64_t{tot_promoted}));
+    root.set("demotions", JsonValue::of(int64_t{tot_demoted}));
+    root.set("doacross_cost_rejections", JsonValue::of(int64_t{tot_cost}));
+    root.set("range_lint_findings", JsonValue::of(int64_t{tot_lint}));
+    root.set("tests_pruned",
+             JsonValue::of(static_cast<int64_t>(tot_pruned)));
+    root.set("audit_unsound", JsonValue::of(int64_t{tot_unsound}));
+    root.set("oracle_violations", JsonValue::of(int64_t{tot_violations}));
+    root.set("compile_seconds_vra_on", JsonValue::of(tot_on));
+    root.set("compile_seconds_vra_off", JsonValue::of(tot_off));
+    JsonValue promoted = JsonValue::array();
+    for (const EntryStats& s : rows)
+      for (const auto& [loop_id, line] : s.promoted_loops) {
+        JsonValue p = JsonValue::object();
+        p.set("program", JsonValue::of(s.name));
+        p.set("loop", JsonValue::of(loop_id));
+        p.set("line", JsonValue::of(int64_t{line}));
+        promoted.push(p);
+      }
+    root.set("promoted_loops", promoted);
+    root.set("counters",
+             vraCountersToJson(PerfStats::instance().vra));
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::string out = root.dump();
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -22,6 +22,7 @@ namespace {
 struct EntryStats {
   int loops = 0, base_par = 0, not_cand = 0, nested = 0, cand = 0,
       elpd_par = 0;
+  int promoted = 0;
   int degraded = 0, certified = 0, audited = 0, unsound = 0;
   std::map<std::string, uint64_t> causes;
 };
@@ -55,6 +56,13 @@ EntryStats computeEntry(const CorpusEntry& e) {
     ++s.cand;
     if (elpd.verdict(node->loop).parallelizable()) ++s.elpd_par;
   }
+  // Predicated run-time tests the value-range analysis discharges at
+  // compile time (DESIGN.md Â§15) -- the suite-level view of the
+  // CT-promotion client.
+  for (const auto& [loop, plan] : cp.pred.plans)
+    if (plan.status == LoopStatus::Parallel &&
+        plan.vra_action == VraAction::PromotedParallel)
+      ++s.promoted;
   s.degraded = static_cast<int>(cp.base.degradedCount());
   for (const auto& [cause, n] : cp.base.exhaustion_causes) s.causes[cause] += n;
   return s;
@@ -64,15 +72,15 @@ EntryStats computeEntry(const CorpusEntry& e) {
 
 int main() {
   TextTable table({"program", "suite", "loops", "base-par", "not-cand",
-                   "nested", "candidates", "ELPD-par", "audit-ok",
-                   "degraded"});
+                   "nested", "candidates", "ELPD-par", "CT-promoted",
+                   "audit-ok", "degraded"});
   const std::vector<CorpusEntry>& entries = corpus();
   std::vector<std::future<EntryStats>> futs;
   futs.reserve(entries.size());
   for (const CorpusEntry& e : entries)
     futs.push_back(analysisPool().submit([&e] { return computeEntry(e); }));
   int tot_loops = 0, tot_base = 0, tot_cand = 0, tot_elpd = 0;
-  int tot_degraded = 0;
+  int tot_promoted = 0, tot_degraded = 0;
   int tot_audited = 0, tot_certified = 0, tot_unsound = 0;
   std::map<std::string, uint64_t> causes;
   std::string cur_suite;
@@ -87,7 +95,7 @@ int main() {
     table.addRow({e.name, e.suite, std::to_string(s.loops),
                   std::to_string(s.base_par), std::to_string(s.not_cand),
                   std::to_string(s.nested), std::to_string(s.cand),
-                  std::to_string(s.elpd_par),
+                  std::to_string(s.elpd_par), std::to_string(s.promoted),
                   std::to_string(s.certified) + "/" +
                       std::to_string(s.audited),
                   std::to_string(s.degraded)});
@@ -95,6 +103,7 @@ int main() {
     tot_base += s.base_par;
     tot_cand += s.cand;
     tot_elpd += s.elpd_par;
+    tot_promoted += s.promoted;
     tot_degraded += s.degraded;
     tot_audited += s.audited;
     tot_certified += s.certified;
@@ -103,7 +112,7 @@ int main() {
   table.addSeparator();
   table.addRow({"TOTAL", "", std::to_string(tot_loops),
                 std::to_string(tot_base), "", "", std::to_string(tot_cand),
-                std::to_string(tot_elpd),
+                std::to_string(tot_elpd), std::to_string(tot_promoted),
                 std::to_string(tot_certified) + "/" +
                     std::to_string(tot_audited),
                 std::to_string(tot_degraded)});

@@ -76,6 +76,7 @@ int usage() {
       " --callgraph for the call graph\n"
       "  slice   <file.mf|corpus:NAME> <line>:<var>  backward slice\n"
       "  certify <file.mf|corpus:NAME>            PDG vs plans vs auditor\n"
+      "  signature <file.mf|corpus:NAME>          canonical plan signature\n"
       "  list                                     list corpus programs\n"
       "  serve                                    run the mfcd daemon\n"
       "  daemon <status|ping|flush|stop>          control a running mfcd\n"
@@ -381,8 +382,8 @@ int certify(const CompiledProgram& cp) {
 bool knownCommand(const std::string& cmd) {
   static const char* kCommands[] = {"report", "run",  "elpd",  "emit",
                                     "lint",   "audit", "race",  "deps",
-                                    "slice",  "certify", "list", "serve",
-                                    "daemon"};
+                                    "slice",  "certify", "signature",
+                                    "list", "serve", "daemon"};
   for (const char* c : kCommands)
     if (cmd == c) return true;
   return false;
@@ -553,6 +554,8 @@ int main(int argc, char** argv) {
     else if (cli.cmd == "deps") rc |= deps(*cp, cli);
     else if (cli.cmd == "slice") rc |= slice(*cp, cli, source);
     else if (cli.cmd == "certify") rc |= certify(*cp);
+    else if (cli.cmd == "signature")
+      std::fputs(planSignature(*cp).c_str(), stdout);
     else if (cli.cmd == "emit") {
       EmitStats stats;
       std::string out = emitParallelProgram(*cp->program, cp->pred, &stats);

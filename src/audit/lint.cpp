@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "ipa/callgraph.h"
@@ -11,6 +12,7 @@
 #include "presburger/set.h"
 #include "symbolic/affine.h"
 #include "symbolic/vartable.h"
+#include "vra/vra.h"
 
 namespace padfa {
 
@@ -217,37 +219,181 @@ void checkShadowing(const Program& program, DiagEngine& diags) {
 }
 
 // ------------------------------------------------------------------------
-// Loop trip-count checks on constant bounds.
+// Loop trip-count checks. Bounds are resolved through the value-range
+// analysis when it is available (so "for i = n to n" after "n = 5" is
+// caught, not just literal bounds); with VRA disabled the checks fall
+// back to constant folding and behave exactly as before.
 
 void checkLoopTrips(const LoopTree& loops, DiagEngine& diags,
-                    const LintOptions& opt) {
+                    const LintOptions& opt,
+                    const vra::RangeAnalysis* ranges) {
   for (const LoopNode* node : loops.allLoops()) {
     const ForStmt& loop = *node->loop;
-    auto lb = tryConstInt(*loop.lower);
-    auto ub = tryConstInt(*loop.upper);
-    if (!lb || !ub) continue;
-    int64_t step = 1;
-    if (loop.step) {
-      auto s = tryConstInt(*loop.step);
-      if (!s) continue;
-      step = *s;
-    }
-    if (step == 0) continue;  // runtime error, not a trip-count question
-    bool never = step > 0 ? *lb > *ub : *lb < *ub;
+    auto asRange = [&](const Expr& e) {
+      if (ranges) return ranges->evalAt(&loop, e);
+      auto c = tryConstInt(e);
+      return c ? vra::Range::constant(*c) : vra::Range::top();
+    };
+    vra::Range lb = asRange(*loop.lower);
+    vra::Range ub = asRange(*loop.upper);
+    vra::Range st =
+        loop.step ? asRange(*loop.step) : vra::Range::constant(1);
+    if (lb.empty || ub.empty || st.empty) continue;  // unreachable loop
+    bool asc = st.lo && *st.lo >= 1;
+    bool desc = st.hi && *st.hi <= -1;
+    if (!asc && !desc) continue;  // sign unknown (or possibly zero: a
+                                  // runtime error, not a trip question)
+    // diff = lb - ub; diff >= 1 everywhere proves an ascending loop never
+    // runs, diff <= -1 a descending one.
+    vra::Range diff = vra::sub(lb, ub);
+    bool never = (asc && diff.lo && *diff.lo >= 1) ||
+                 (desc && diff.hi && *diff.hi <= -1);
+    auto bstr = [](const vra::Range& r) {
+      auto c = r.asConstant();
+      return c ? std::to_string(*c) : r.str();
+    };
     if (never && wanted(opt, "padfa-loop-never-runs")) {
       diags.warning(loop.loc,
-                    "loop never executes (bounds " + std::to_string(*lb) +
-                        " to " + std::to_string(*ub) + ")",
+                    "loop never executes (bounds " + bstr(lb) + " to " +
+                        bstr(ub) + ")",
                     "padfa-loop-never-runs");
-    } else if (*lb == *ub && wanted(opt, "padfa-loop-single-trip")) {
+    } else if (lb.isConstant() && lb == ub &&
+               wanted(opt, "padfa-loop-single-trip")) {
       diags.warning(loop.loc,
-                    "loop executes exactly once (bounds " +
-                        std::to_string(*lb) + " to " + std::to_string(*ub) +
-                        ")",
+                    "loop executes exactly once (bounds " + bstr(lb) +
+                        " to " + bstr(ub) + ")",
                     "padfa-loop-single-trip");
     }
   }
 }
+
+// ------------------------------------------------------------------------
+// Range-powered statement walk: padfa-div-by-zero (an integer divisor
+// whose interval is exactly [0,0] — the division faults every time it
+// executes) and padfa-dead-branch (a branch condition the intervals
+// prove constant, leaving one arm unreachable). Both follow the lint
+// philosophy: only provable facts fire. Without the value-range
+// analysis, division by a literal zero is still caught; dead branches
+// need ranges and stay quiet.
+
+class RangeLintWalker {
+ public:
+  RangeLintWalker(const Program& program, DiagEngine& diags,
+                  const LintOptions& opt, const vra::RangeAnalysis* ranges)
+      : program_(program), diags_(diags), opt_(opt), ranges_(ranges) {}
+
+  void run(const ProcDecl& proc) { walkBlock(*proc.body); }
+
+ private:
+  void checkDivisors(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::RealLit:
+      case ExprKind::VarRef:
+        return;
+      case ExprKind::ArrayRef:
+        for (const auto& idx : static_cast<const ArrayRefExpr&>(e).indices)
+          checkDivisors(*idx);
+        return;
+      case ExprKind::Unary:
+        checkDivisors(*static_cast<const UnaryExpr&>(e).operand);
+        return;
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        checkDivisors(*b.lhs);
+        checkDivisors(*b.rhs);
+        if ((b.op == BinOp::Div || b.op == BinOp::Rem) &&
+            wanted(opt_, "padfa-div-by-zero")) {
+          vra::Range r = ranges_ ? ranges_->evalAt(cur_, *b.rhs)
+                                 : vra::Range::top();
+          auto c = tryConstInt(*b.rhs);
+          if (r.asConstant() == std::optional<int64_t>{0} ||
+              c == std::optional<int64_t>{0}) {
+            diags_.warning(b.loc,
+                           std::string(b.op == BinOp::Div ? "division"
+                                                          : "remainder") +
+                               " by a value that is provably zero here",
+                           "padfa-div-by-zero");
+          }
+        }
+        return;
+      }
+      case ExprKind::Intrinsic:
+        for (const auto& a : static_cast<const IntrinsicExpr&>(e).args)
+          checkDivisors(*a);
+        return;
+    }
+  }
+
+  void walkBlock(const BlockStmt& block) {
+    for (const auto& d : block.decls)
+      if (d->init) {
+        cur_ = &block;
+        checkDivisors(*d->init);
+      }
+    for (const auto& st : block.stmts) walkStmt(*st);
+  }
+
+  void walkStmt(const Stmt& s) {
+    cur_ = &s;
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        const auto& as = static_cast<const AssignStmt&>(s);
+        checkDivisors(*as.value);
+        if (as.target->kind == ExprKind::ArrayRef)
+          for (const auto& idx :
+               static_cast<const ArrayRefExpr&>(*as.target).indices)
+            checkDivisors(*idx);
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        checkDivisors(*i.cond);
+        if (ranges_ && wanted(opt_, "padfa-dead-branch")) {
+          Pred p = Pred::fromCondition(*i.cond, program_.interner);
+          vra::Proof proof = ranges_->provePred(&s, p);
+          if (proof == vra::Proof::False) {
+            diags_.warning(i.cond->loc,
+                           "condition is provably false; the then-branch "
+                           "never runs",
+                           "padfa-dead-branch");
+          } else if (proof == vra::Proof::True && i.else_block) {
+            diags_.warning(i.cond->loc,
+                           "condition is provably true; the else-branch "
+                           "never runs",
+                           "padfa-dead-branch");
+          }
+        }
+        walkBlock(*i.then_block);
+        if (i.else_block) walkBlock(*i.else_block);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        checkDivisors(*f.lower);
+        checkDivisors(*f.upper);
+        if (f.step) checkDivisors(*f.step);
+        walkBlock(*f.body);
+        break;
+      }
+      case StmtKind::Call:
+        for (const auto& a : static_cast<const CallStmt&>(s).args)
+          checkDivisors(*a);
+        break;
+      case StmtKind::Block:
+        walkBlock(static_cast<const BlockStmt&>(s));
+        break;
+      case StmtKind::Return:
+        break;
+    }
+  }
+
+  const Program& program_;
+  DiagEngine& diags_;
+  const LintOptions& opt_;
+  const vra::RangeAnalysis* ranges_;
+  const Stmt* cur_ = nullptr;
+};
 
 // ------------------------------------------------------------------------
 // Affine-context walker: drives padfa-oob (subscript provably outside the
@@ -263,9 +409,10 @@ void checkLoopTrips(const LoopTree& loops, DiagEngine& diags,
 class ContextWalker {
  public:
   ContextWalker(const Program& program, const ProcDecl& proc,
-                DiagEngine& diags, const LintOptions& opt)
+                DiagEngine& diags, const LintOptions& opt,
+                const vra::RangeAnalysis* ranges)
       : program_(program), proc_(proc), diags_(diags), opt_(opt),
-        vt_(&program.interner) {
+        ranges_(ranges), vt_(&program.interner) {
     computeUnstable();
     // Array parameters: the caller may have written anything.
     for (const auto& p : proc.params)
@@ -409,6 +556,31 @@ class ContextWalker {
         return;  // one report per access
       }
     }
+    // Range sharpening: the affine path above refuses unstable scalars
+    // entirely, but the flow-sensitive intervals ARE valid at this
+    // statement — so a subscript whose whole interval lies outside the
+    // extent is provably out of bounds even when it mentions multiply-
+    // assigned scalars. Only definite facts fire: interval entirely
+    // below 0, or subscript - extent >= 0 everywhere.
+    if (!ranges_ || !cur_stmt_) return;
+    for (size_t j = 0; j < ref.indices.size() && j < ref.decl->rank(); ++j) {
+      vra::Range sr = ranges_->evalAt(cur_stmt_, *ref.indices[j]);
+      if (sr.empty) return;  // unreachable access: nothing to report
+      vra::Range er = ranges_->evalAt(cur_stmt_, *ref.decl->dims[j]);
+      bool below = sr.hi && *sr.hi <= -1;
+      vra::Range diff = vra::sub(sr, er);
+      bool above = diff.lo && *diff.lo >= 0;
+      if (below || above) {
+        std::string name(program_.interner.str(ref.name));
+        diags_.warning(ref.loc,
+                       "subscript of '" + name + "' (dimension " +
+                           std::to_string(j) + ") is always out of bounds "
+                           "when this access executes (value range " +
+                           sr.str() + ")",
+                       "padfa-oob");
+        return;
+      }
+    }
   }
 
   /// Section of one access under the current context, projected onto the
@@ -509,6 +681,8 @@ class ContextWalker {
   }
 
   void walkStmt(const Stmt& s, bool writes_only) {
+    cur_stmt_ = &s;  // statement whose entry environment guards the
+                     // expressions visited before any recursion
     switch (s.kind) {
       case StmtKind::Assign: {
         const auto& as = static_cast<const AssignStmt&>(s);
@@ -589,6 +763,8 @@ class ContextWalker {
   const ProcDecl& proc_;
   DiagEngine& diags_;
   const LintOptions& opt_;
+  const vra::RangeAnalysis* ranges_;
+  const Stmt* cur_stmt_ = nullptr;
   VarTable vt_;
   std::set<const VarDecl*> unstable_;
   std::vector<pb::System> ctx_;
@@ -625,22 +801,43 @@ const std::vector<std::string>& lintCheckerIds() {
       "padfa-dead-store",    "padfa-unused",
       "padfa-loop-never-runs", "padfa-loop-single-trip",
       "padfa-shadow",        "padfa-dead-proc",
+      "padfa-div-by-zero",   "padfa-dead-branch",
   };
   return ids;
 }
 
 void runLint(const Program& program, const LoopTree& loops,
              DiagEngine& diags, const LintOptions& options) {
+  // One shared range analysis powers the sharpened checkers; with
+  // PADFA_NO_VRA everything degrades to the constant-only behavior.
+  std::unique_ptr<vra::RangeAnalysis> ranges;
+  const vra::RangeAnalysis* rp = nullptr;
+  bool needs_ranges = wanted(options, "padfa-oob") ||
+                      wanted(options, "padfa-loop-never-runs") ||
+                      wanted(options, "padfa-loop-single-trip") ||
+                      wanted(options, "padfa-div-by-zero") ||
+                      wanted(options, "padfa-dead-branch");
+  if (needs_ranges && vra::vraEnabled()) {
+    ranges = std::make_unique<vra::RangeAnalysis>(program);
+    if (ranges->enabled()) rp = ranges.get();
+  }
   if (wanted(options, "padfa-unused") || wanted(options, "padfa-dead-store"))
     checkUnusedAndDeadStores(program, diags, options);
   if (wanted(options, "padfa-shadow")) checkShadowing(program, diags);
   if (wanted(options, "padfa-dead-proc")) checkDeadProcs(program, diags);
   if (wanted(options, "padfa-loop-never-runs") ||
       wanted(options, "padfa-loop-single-trip"))
-    checkLoopTrips(loops, diags, options);
+    checkLoopTrips(loops, diags, options, rp);
+  if (wanted(options, "padfa-div-by-zero") ||
+      wanted(options, "padfa-dead-branch")) {
+    for (const auto& proc : program.procs) {
+      RangeLintWalker walker(program, diags, options, rp);
+      walker.run(*proc);
+    }
+  }
   if (wanted(options, "padfa-oob") || wanted(options, "padfa-uninit-read")) {
     for (const auto& proc : program.procs) {
-      ContextWalker walker(program, *proc, diags, options);
+      ContextWalker walker(program, *proc, diags, options, rp);
       walker.run();
     }
   }

@@ -5,20 +5,29 @@
 //
 // Shipped checkers (see README for the full reference):
 //   padfa-oob              subscript provably out of bounds whenever the
-//                          access executes (presburger bounds vs extents)
+//                          access executes (presburger bounds vs extents,
+//                          sharpened by flow-sensitive value ranges)
 //   padfa-uninit-read      read of an array section no execution could
 //                          have written (values are the zero-fill only)
 //   padfa-dead-store       variable written but never read anywhere
 //   padfa-unused           variable declared but never referenced
-//   padfa-loop-never-runs  constant loop bounds exclude every iteration
-//   padfa-loop-single-trip constant loop bounds admit exactly one trip
+//   padfa-loop-never-runs  loop bounds provably exclude every iteration
+//                          (constants, or value ranges when VRA is on)
+//   padfa-loop-single-trip loop bounds provably admit exactly one trip
 //   padfa-shadow           declaration shadows an outer binding
 //   padfa-dead-proc        procedure unreachable from `main` through
 //                          call edges (whole-program call graph)
+//   padfa-div-by-zero      integer divisor provably zero whenever the
+//                          division executes (value ranges / constants)
+//   padfa-dead-branch      branch condition the value ranges prove
+//                          constant, leaving one arm unreachable
 //
 // Philosophy: a warning must mean a bug with high probability. Checkers
 // only fire on *provable* facts (infeasibility in the affine domain,
-// whole-program absence of references); anything unprovable stays quiet.
+// whole-program absence of references, definite value intervals);
+// anything unprovable stays quiet. The range-powered checkers use the
+// vra/ subsystem and degrade to their constant-only behavior under
+// PADFA_NO_VRA.
 #pragma once
 
 #include <string>

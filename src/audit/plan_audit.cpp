@@ -1,6 +1,7 @@
 #include "audit/plan_audit.h"
 
 #include <map>
+#include <memory>
 #include <set>
 
 #include "audit/loop_conflicts.h"
@@ -8,6 +9,7 @@
 #include "predicate/pred.h"
 #include "presburger/system.h"
 #include "symbolic/vartable.h"
+#include "vra/vra.h"
 
 namespace padfa {
 
@@ -18,8 +20,12 @@ namespace {
 /// Presburger conflict systems live there, shared with the PDG builder).
 class LoopAuditor {
  public:
-  LoopAuditor(const Program& program, const LoopPlan& plan)
-      : program_(program), plan_(plan),
+  /// `promotion_verified`: the caller independently re-proved a
+  /// PromotedParallel plan's retained test with its own RangeAnalysis.
+  /// Ignored for other plans.
+  LoopAuditor(const Program& program, const LoopPlan& plan,
+              bool promotion_verified)
+      : program_(program), plan_(plan), promotion_verified_(promotion_verified),
         scanner_(program, plan.loop, plan.proc) {}
 
   LoopAudit run() {
@@ -56,8 +62,24 @@ class LoopAuditor {
           ") exceeded; audit is partial");
       raiseTo(AuditVerdict::Inconclusive);
     }
+    // A PromotedParallel plan's retained test participates in pair
+    // discharge ONLY when this audit's own range analysis re-proved it
+    // true: the promotion then holds exactly as the two-version dispatch
+    // would have at run time. A promotion the auditor cannot reproduce
+    // gets no such credit — its conflicts fall through to the plain
+    // Parallel discipline below and surface as Unsound.
+    bool promoted = plan_.vra_action == VraAction::PromotedParallel &&
+                    plan_.status == LoopStatus::Parallel;
+    bool test_armed = plan_.status == LoopStatus::RuntimeTest ||
+                      (promoted && promotion_verified_);
+    if (promoted && !promotion_verified_) {
+      audit_.notes.push_back(
+          "value-range promotion not reproducible: the retained run-time "
+          "test does not re-prove true");
+      raiseTo(AuditVerdict::Inconclusive);
+    }
     pb::System test_ub;
-    if (plan_.status == LoopStatus::RuntimeTest)
+    if (test_armed)
       test_ub = plan_.runtime_test.affineUpperBound(scanner_.varTable());
     for (size_t i = 0; i < accesses.size(); ++i) {
       for (size_t j = i; j < accesses.size(); ++j) {
@@ -74,8 +96,7 @@ class LoopAuditor {
           ++audit_.pairs_independent;
           continue;
         }
-        if (plan_.status == LoopStatus::RuntimeTest &&
-            !scanner_.conflictExists(a, b, eq, &test_ub)) {
+        if (test_armed && !scanner_.conflictExists(a, b, eq, &test_ub)) {
           ++audit_.pairs_test;
           raiseTo(AuditVerdict::DischargedTest);
           continue;
@@ -91,7 +112,10 @@ class LoopAuditor {
                             b.loc.str() + ")";
         bool exact = LoopConflictScanner::pairExactly(a, b, eq) &&
                      scanner_.loopExact();
-        if (exact && plan_.status == LoopStatus::Parallel) {
+        // A verified promotion keeps the RuntimeTest discipline: the test
+        // re-proved true, so an affinely-undischargeable conflict defers
+        // to the race oracle instead of refuting the plan.
+        if (exact && plan_.status == LoopStatus::Parallel && !test_armed) {
           audit_.notes.push_back("cross-iteration conflict on " + where);
           raiseTo(AuditVerdict::Unsound);
         } else if (exact) {
@@ -208,6 +232,7 @@ class LoopAuditor {
 
   const Program& program_;
   const LoopPlan& plan_;
+  bool promotion_verified_ = false;
   LoopConflictScanner scanner_;
   LoopAudit audit_;
 };
@@ -235,12 +260,22 @@ size_t AuditReport::count(AuditVerdict v) const {
 AuditReport auditPlans(const Program& program, const AnalysisResult& analysis,
                        DiagEngine& diags) {
   AuditReport report;
+  // The auditor's own range analysis (built lazily, once): promotions are
+  // re-derived from scratch rather than trusted, the same way the conflict
+  // systems re-derive independence.
+  std::unique_ptr<vra::RangeAnalysis> ranges;
+  auto promotionVerified = [&](const LoopPlan& plan) {
+    if (plan.vra_action != VraAction::PromotedParallel) return false;
+    if (!ranges) ranges = std::make_unique<vra::RangeAnalysis>(program);
+    return ranges->enabled() &&
+           ranges->proveTrue(plan.loop, plan.runtime_test);
+  };
   for (const auto& [loop, plan] : analysis.plans) {
     if (plan.status != LoopStatus::Parallel &&
         plan.status != LoopStatus::RuntimeTest &&
         plan.status != LoopStatus::Doacross)
       continue;
-    LoopAuditor auditor(program, plan);
+    LoopAuditor auditor(program, plan, promotionVerified(plan));
     LoopAudit la = auditor.run();
     if (la.verdict == AuditVerdict::Unsound) {
       std::string msg = "plan marks loop " + loop->loop_id + " " +

@@ -106,6 +106,15 @@ void RaceOracle::bufferAllocated(const void* buffer) {
   }
 }
 
+void RaceOracle::promotedTestFailed(const ForStmt* loop) {
+  auto it = loops_.find(loop);
+  if (it == loops_.end()) return;
+  LoopState& st = it->second;
+  st.executed = true;
+  flag(st, "promoted run-time test (statically proved always-true) "
+           "evaluated false at loop entry");
+}
+
 void RaceOracle::flag(LoopState& st, std::string detail) {
   if (!st.violation) {
     st.violation = true;

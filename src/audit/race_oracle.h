@@ -74,6 +74,12 @@ class RaceOracle {
   void recordScalarRead(const VarDecl* decl);
   void recordScalarWrite(const VarDecl* decl);
 
+  /// A VraAction::PromotedParallel plan's retained run-time test — the
+  /// one the value-range analysis proved always-true — evaluated FALSE
+  /// at loop entry. The static proof was wrong; that is a violation even
+  /// if the concrete accesses of this run happen not to conflict.
+  void promotedTestFailed(const ForStmt* loop);
+
   // ---------------------------------------------------------- results --
 
   struct LoopVerdict {

@@ -67,7 +67,7 @@ proc main() {
   int n; n = $N$;
   int rows; rows = 8;
   int cols; cols = 12;
-  int len; len = inoise(19, 1) + 96;
+  int len; len = inoise(19, 2) + 96;
   real g[8, 12];
   real out[$N$];
   real fld[$N$, 32];

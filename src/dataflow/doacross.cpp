@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "audit/loop_conflicts.h"
+#include "support/perf_stats.h"
+#include "vra/vra.h"
 
 namespace padfa {
 
@@ -43,6 +45,41 @@ void walkOrder(const Stmt& s, int if_depth, int for_depth,
 int posOf(const SyncOrderInfo& info, const Stmt* s) {
   auto it = info.pos.find(s);
   return it == info.pos.end() ? -1 : it->second;
+}
+
+/// The profitability guard (DESIGN.md §15). A Doacross upgrade pays for
+/// a post/wait window; it loses outright when
+///   (a) the value ranges bound the trip count below 2 (nothing to
+///       overlap), or
+///   (b) some kept distance-1 requirement runs from the LAST statement
+///       of the body to its FIRST (pure recurrence with no independent
+///       prefix): iteration i+1 then waits at its very first statement
+///       for all of iteration i, so the pipeline degenerates to
+///       sequential execution plus sync overhead.
+/// First/last are computed over real statements (blocks are structural).
+bool doacrossAtALoss(const ForStmt& loop,
+                     const std::vector<SyncRequirement>& reqs,
+                     const SyncOrderInfo& info, int64_t step,
+                     const vra::RangeAnalysis& ranges) {
+  vra::Range lb = ranges.evalAt(&loop, *loop.lower);
+  vra::Range ub = ranges.evalAt(&loop, *loop.upper);
+  vra::Range span = vra::sub(ub, lb);
+  if (span.hi && *span.hi < step) return true;  // at most one iteration
+
+  int first = -1, last = -1;
+  for (const auto& [s, p] : info.pos) {
+    if (s->kind == StmtKind::Block) continue;
+    if (first < 0 || p < first) first = p;
+    if (p > last) last = p;
+  }
+  if (first < 0) return false;
+  for (const auto& r : reqs) {
+    if (r.eliminated || r.distance != 1) continue;
+    if (!info.unconditional.count(r.sink)) continue;
+    if (posOf(info, r.sink) <= first && posOf(info, r.source) >= last)
+      return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -114,7 +151,8 @@ bool syncRequirementCovered(const SyncRequirement& req,
   return false;
 }
 
-bool classifyDoacross(const Program& program, LoopPlan& plan) {
+bool classifyDoacross(const Program& program, LoopPlan& plan,
+                      const vra::RangeAnalysis* ranges) {
   // Candidacy: the array dataflow phase gave up with a carried array
   // dependence, undegraded. The reason string round-trips through the
   // deep-plan codec, so replayed plans keep their candidacy and the
@@ -208,13 +246,25 @@ bool classifyDoacross(const Program& program, LoopPlan& plan) {
       reqs[idx].eliminated = true;
   }
 
+  // Profitability guard (only with a live range analysis, so plans under
+  // PADFA_NO_VRA stay bit-identical to the ungated upgrade).
+  if (ranges && ranges->enabled() &&
+      doacrossAtALoss(*plan.loop, reqs, info, *step, *ranges)) {
+    plan.vra_action = VraAction::DoacrossCost;
+    PerfStats::instance().vra.doacross_demotions.fetch_add(
+        1, std::memory_order_relaxed);
+    return false;
+  }
+
   plan.status = LoopStatus::Doacross;
   plan.syncs = std::move(reqs);
   return true;
 }
 
-void upgradeDoacrossPlans(const Program& program, AnalysisResult& result) {
-  for (auto& [loop, plan] : result.plans) classifyDoacross(program, plan);
+void upgradeDoacrossPlans(const Program& program, AnalysisResult& result,
+                          const vra::RangeAnalysis* ranges) {
+  for (auto& [loop, plan] : result.plans)
+    classifyDoacross(program, plan, ranges);
 }
 
 }  // namespace padfa

@@ -22,6 +22,10 @@
 
 namespace padfa {
 
+namespace vra {
+class RangeAnalysis;
+}
+
 /// Statement-order facts about one loop body, shared by the
 /// redundant-sync-elimination rule and the PlanAuditor's independent
 /// re-check of eliminated requirements.
@@ -66,10 +70,21 @@ bool syncRequirementCovered(const SyncRequirement& req,
 /// are non-degraded Sequential plans whose reason is the array-phase
 /// "loop-carried dependence on array ..." verdict; everything else is
 /// left untouched.
-bool classifyDoacross(const Program& program, LoopPlan& plan);
+///
+/// When `ranges` is a live value-range analysis, the profitability guard
+/// (DESIGN.md §15) additionally rejects upgrades that pipeline at a
+/// loss — a provably sub-2-trip loop, or a pure recurrence with no
+/// independent prefix, where a distance-1 sync from the last statement
+/// to the first serializes every iteration. Rejected plans stay
+/// Sequential and are tagged VraAction::DoacrossCost. With `ranges`
+/// null (VRA disabled) the guard is off and behavior is bit-identical
+/// to the pre-VRA upgrade.
+bool classifyDoacross(const Program& program, LoopPlan& plan,
+                      const vra::RangeAnalysis* ranges = nullptr);
 
 /// The driver post-pass: attempt the upgrade on every candidate plan of
 /// a (predicated) analysis result.
-void upgradeDoacrossPlans(const Program& program, AnalysisResult& result);
+void upgradeDoacrossPlans(const Program& program, AnalysisResult& result,
+                          const vra::RangeAnalysis* ranges = nullptr);
 
 }  // namespace padfa

@@ -13,6 +13,16 @@ std::string_view loopStatusName(LoopStatus s) {
   return "?";
 }
 
+std::string_view vraActionName(VraAction a) {
+  switch (a) {
+    case VraAction::None: return "none";
+    case VraAction::PromotedParallel: return "promoted-parallel";
+    case VraAction::DemotedSequential: return "demoted-sequential";
+    case VraAction::DoacrossCost: return "doacross-cost";
+  }
+  return "?";
+}
+
 size_t AnalysisResult::degradedCount() const {
   size_t n = 0;
   for (const auto& [loop, plan] : plans)

@@ -29,6 +29,28 @@ enum class LoopStatus : uint8_t {
 
 std::string_view loopStatusName(LoopStatus s);
 
+/// What the value-range promotion pass (dataflow/vra_promote.h) did to a
+/// plan, if anything. Never serialized: promotions run post-persistence
+/// (after store replay), exactly like the Doacross upgrade, so warm and
+/// cold plans stay byte-identical.
+enum class VraAction : uint8_t {
+  None,
+  /// RuntimeTest whose derived test is provably true under the inferred
+  /// ranges: dispatched as Parallel. The test itself is RETAINED in
+  /// `runtime_test` so the auditor, PDG certification, and the race
+  /// oracle can each re-verify the discharge independently.
+  PromotedParallel,
+  /// RuntimeTest whose derived test is provably false: the parallel
+  /// version is dead code, only the sequential version ships.
+  DemotedSequential,
+  /// Doacross candidate rejected by the profitability guard (pure
+  /// recurrence with no independent prefix, or a provably short trip
+  /// count): kept Sequential.
+  DoacrossCost,
+};
+
+std::string_view vraActionName(VraAction a);
+
 /// How an array must be handled in the parallel version of a loop.
 struct PrivatizedArray {
   const VarDecl* array = nullptr;
@@ -91,6 +113,12 @@ struct LoopPlan {
     for (const auto& s : syncs) n += s.eliminated ? 0 : 1;
     return n;
   }
+
+  /// Value-range promotion applied to this plan (see VraAction). For
+  /// PromotedParallel plans `runtime_test` still holds the discharged
+  /// test — it documents the proof obligation and lets every
+  /// verification leg re-derive the promotion.
+  VraAction vra_action = VraAction::None;
 
   /// True when the plan is a fallback forced by resource budget
   /// exhaustion (or injected faults) rather than a full analysis verdict.

@@ -1,0 +1,40 @@
+#include "dataflow/vra_promote.h"
+
+#include "support/perf_stats.h"
+
+namespace padfa {
+
+size_t applyVraPromotions(const Program& program, AnalysisResult& result,
+                          const vra::RangeAnalysis& ranges) {
+  (void)program;
+  if (!ranges.enabled()) return 0;
+  size_t changed = 0;
+  auto& vc = PerfStats::instance().vra;
+  for (auto& [loop, plan] : result.plans) {
+    if (plan.status != LoopStatus::RuntimeTest) continue;
+    // Degraded plans are budget fallbacks, not analysis verdicts; their
+    // test may be a truncated derivation, so leave them alone.
+    if (plan.degraded) continue;
+    switch (ranges.provePred(plan.loop, plan.runtime_test)) {
+      case vra::Proof::True:
+        plan.status = LoopStatus::Parallel;
+        plan.vra_action = VraAction::PromotedParallel;
+        vc.promotions.fetch_add(1, std::memory_order_relaxed);
+        ++changed;
+        break;
+      case vra::Proof::False:
+        plan.status = LoopStatus::Sequential;
+        plan.vra_action = VraAction::DemotedSequential;
+        plan.reason =
+            "derived run-time test is provably false (value ranges)";
+        vc.demotions.fetch_add(1, std::memory_order_relaxed);
+        ++changed;
+        break;
+      case vra::Proof::Unknown:
+        break;
+    }
+  }
+  return changed;
+}
+
+}  // namespace padfa

@@ -1,10 +1,13 @@
 #include "driver/padfa.h"
 
 #include <cstdio>
+#include <memory>
 #include <set>
 
 #include "dataflow/doacross.h"
+#include "dataflow/vra_promote.h"
 #include "runtime/thread_pool.h"
+#include "vra/vra.h"
 
 namespace padfa {
 
@@ -49,10 +52,20 @@ std::optional<CompiledProgram> compileSource(const std::string& source,
     pplan.degraded = true;
     pplan.degrade_cause = std::move(cause);
   }
-  // Doacross upgrade: runs last (after the ladder, and in the incremental
-  // path after persistence) so stored plans are always pre-upgrade and
-  // warm replays stay byte-identical — see dataflow/doacross.h.
-  upgradeDoacrossPlans(prog, cp.pred);
+  // Doacross upgrade + value-range promotion: run last (after the ladder,
+  // and in the incremental path after persistence) so stored plans are
+  // always pre-upgrade and warm replays stay byte-identical — see
+  // dataflow/doacross.h and dataflow/vra_promote.h. Value ranges are
+  // skipped under a governed budget: plans may then be degraded
+  // fallbacks, and refinement of a degraded run must stay inert so the
+  // degradation ladder's output is the final word.
+  std::unique_ptr<vra::RangeAnalysis> ranges;
+  if (!BudgetLimits::fromEnv(budget).governed() && vra::vraEnabled())
+    ranges = std::make_unique<vra::RangeAnalysis>(prog);
+  const vra::RangeAnalysis* rp =
+      ranges && ranges->enabled() ? ranges.get() : nullptr;
+  upgradeDoacrossPlans(prog, cp.pred, rp);
+  if (rp) applyVraPromotions(prog, cp.pred, *rp);
   cp.program = std::move(program);
   return cp;
 }
@@ -86,6 +99,11 @@ std::string renderPlanReport(const CompiledProgram& cp) {
     } else if (pp->status == LoopStatus::Sequential) {
       notes = pp->reason;
     }
+    if (pp->vra_action == VraAction::PromotedParallel)
+      notes += "[vra: test discharged " +
+               pp->runtime_test.str(cp.interner()) + "]";
+    else if (pp->vra_action != VraAction::None)
+      notes += " [vra: " + std::string(vraActionName(pp->vra_action)) + "]";
     if (pp->degraded || bp->degraded)
       notes += " [degraded: " +
                (pp->degraded ? pp->degrade_cause : bp->degrade_cause) + "]";

@@ -82,6 +82,12 @@ void appendPlanSignature(std::string& out, const LoopPlan* p) {
   out += p->used_extraction ? 'X' : '.';
   out += p->used_reshape ? 'R' : '.';
   out += p->priv_used ? 'V' : '.';
+  // Appended only when the value-range pass touched the plan, so every
+  // signature under PADFA_NO_VRA is byte-identical to the pre-VRA format.
+  if (p->vra_action != VraAction::None) {
+    out += " vra=";
+    out += vraActionName(p->vra_action);
+  }
 }
 
 std::string planSignature(const CompiledProgram& cp) {

@@ -548,6 +548,13 @@ class Interp {
       else
         plan = nullptr;  // fall back to the sequential version
     }
+    // A promoted plan (runtime test statically discharged by value
+    // ranges) dispatches straight to the parallel version: the test the
+    // two-version scheme would have evaluated here was proved true at
+    // compile time.
+    if (plan && plan->status == LoopStatus::Parallel &&
+        plan->vra_action == VraAction::PromotedParallel)
+      ++stats_.runtime_tests_pruned;
 
     double region_sim = -1;
     if (plan && step > 0 && lb <= ub) {
@@ -604,6 +611,20 @@ class Interp {
           pass = false;
         }
         race_instr = pass;
+      } else if (rplan->status == LoopStatus::Parallel &&
+                 rplan->vra_action == VraAction::PromotedParallel) {
+        // A promoted plan claims its retained test ALWAYS passes; the
+        // oracle checks that claim concretely on every entry. The
+        // independence shadowing still runs either way — the plan runs
+        // parallel unconditionally, so its claim is unconditional.
+        bool pass = false;
+        try {
+          pass = rplan->runtime_test.evaluate(
+              [&](const Expr& e) { return eval(e, frame).asReal(); });
+        } catch (const RuntimeError&) {
+          pass = false;
+        }
+        if (!pass) opt_.race->promotedTestFailed(&loop);
       }
       if (race_instr) {
         std::set<const void*> priv_buffers;

@@ -98,6 +98,11 @@ struct InterpStats {
   /// program would have.
   uint64_t runtime_tests_trapped = 0;
   uint64_t runtime_test_atoms = 0;  // total atoms evaluated (test cost)
+  /// Two-version dispatches skipped entirely because the value-range
+  /// analysis proved the derived test at compile time (the plan arrived
+  /// as Parallel with VraAction::PromotedParallel): the per-entry test
+  /// evaluation cost those loops would have paid is gone.
+  uint64_t runtime_tests_pruned = 0;
   /// Doacross (pipelined) loop regions entered, and post/wait events
   /// actually executed inside them.
   uint64_t doacross_loops_entered = 0;

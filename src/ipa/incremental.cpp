@@ -6,6 +6,7 @@
 #include <set>
 
 #include "dataflow/doacross.h"
+#include "dataflow/vra_promote.h"
 #include "driver/plan_signature.h"
 #include "ipa/callgraph.h"
 #include "ipa/fingerprint.h"
@@ -17,17 +18,6 @@ namespace padfa::ipa {
 
 namespace {
 
-/// Mirror of the daemon's persist guard: a budget that can exhaust may
-/// soundly degrade plans, and degraded plans must never be replayed
-/// into an ungoverned compile.
-bool limitsGoverned(const BudgetLimits& l) {
-  if (l.deadline_seconds > 0 || l.max_fm_steps != 0 ||
-      l.max_loop_fm_steps != 0 || l.max_constraints != 0 ||
-      l.max_pieces != 0)
-    return true;
-  const char* fault = std::getenv("PADFA_FAULT_RATE");
-  return fault && *fault;
-}
 
 /// Replay state for one analysis kind (base or pred). The two kinds run
 /// concurrently over the same immutable Program; each KindState is
@@ -151,7 +141,7 @@ std::optional<CompiledProgram> compileSourceIncremental(
   // Replay and persist are only sound for ungoverned, cache-enabled
   // compiles (same contract as the daemon's warm path); otherwise run
   // the plain pipeline.
-  if (limitsGoverned(BudgetLimits::fromEnv(limits)) || !cachesEnabled()) {
+  if (BudgetLimits::fromEnv(limits).governed() || !cachesEnabled()) {
     auto cp = compileSource(source, diags, limits);
     if (cp && info) {
       info->procs_total = cp->program->procs.size();
@@ -210,10 +200,18 @@ std::optional<CompiledProgram> compileSourceIncremental(
   persistKind(prog, cp.base, cg, fps, store::kDeepKindBase, store);
   persistKind(prog, cp.pred, cg, fps, store::kDeepKindPred, store);
 
-  // Doacross upgrade after persistence: the store only ever sees
-  // pre-upgrade plans, so warm replays re-derive the same upgrades a
-  // cold run would (see dataflow/doacross.h).
-  upgradeDoacrossPlans(prog, cp.pred);
+  // Doacross upgrade + value-range promotion after persistence: the
+  // store only ever sees pre-upgrade plans, so warm replays re-derive
+  // the same upgrades and promotions a cold run would (see
+  // dataflow/doacross.h, dataflow/vra_promote.h). This path only runs
+  // ungoverned (the governed case bailed to plain compileSource above),
+  // matching the driver's skip-refinement-when-governed rule.
+  std::unique_ptr<vra::RangeAnalysis> ranges;
+  if (vra::vraEnabled()) ranges = std::make_unique<vra::RangeAnalysis>(prog);
+  const vra::RangeAnalysis* rp =
+      ranges && ranges->enabled() ? ranges.get() : nullptr;
+  upgradeDoacrossPlans(prog, cp.pred, rp);
+  if (rp) applyVraPromotions(prog, cp.pred, *rp);
 
   size_t replayed_both = 0;
   std::vector<std::string> dirty_names, replayed_names;

@@ -1,10 +1,12 @@
 #include "pdg/certify.h"
 
 #include <map>
+#include <memory>
 
 #include "audit/loop_conflicts.h"
 #include "dataflow/doacross.h"
 #include "predicate/pred.h"
+#include "vra/vra.h"
 
 namespace padfa {
 
@@ -70,11 +72,28 @@ bool testDischargesRoot(LoopConflictScanner& scanner, const pb::System& test_ub,
 }
 
 LoopCertificate certifyLoop(const Program& program, const LoopPlan& plan,
-                            const ProgramPdg& pdg) {
+                            const ProgramPdg& pdg, bool promotion_verified) {
   LoopCertificate cert;
   cert.loop = plan.loop;
   cert.proc = plan.proc;
   cert.status = plan.status;
+
+  // Mirror of the auditor's promotion discipline (audit/plan_audit.cpp):
+  // a PromotedParallel plan's retained test discharges edges only when
+  // this pass's own range analysis re-proved it true; otherwise the loop
+  // is held to the plain Parallel standard and any exact carried edge
+  // becomes Disagree — the same rank the audit's Unsound lands on, so
+  // the cross-check stays quiet exactly when both legs agree.
+  bool promoted = plan.vra_action == VraAction::PromotedParallel &&
+                  plan.status == LoopStatus::Parallel;
+  bool test_armed = plan.status == LoopStatus::RuntimeTest ||
+                    (promoted && promotion_verified);
+  if (promoted && !promotion_verified) {
+    cert.notes.push_back(
+        "value-range promotion not reproducible: the retained run-time "
+        "test does not re-prove true");
+    raiseTo(cert, CertifyVerdict::Inconclusive);
+  }
 
   const ProcPdg* proc_pdg = pdg.forProc(plan.proc);
   if (!proc_pdg) {
@@ -90,7 +109,7 @@ LoopCertificate certifyLoop(const Program& program, const LoopPlan& plan,
   auto ensureScanned = [&] {
     if (scanned) return;
     scanner.scan();
-    if (plan.status == LoopStatus::RuntimeTest)
+    if (test_armed)
       test_ub = plan.runtime_test.affineUpperBound(scanner.varTable());
     scanned = true;
   };
@@ -98,7 +117,7 @@ LoopCertificate certifyLoop(const Program& program, const LoopPlan& plan,
   // Which roots the run-time test fully discharges, memoized per loop.
   std::map<const VarDecl*, bool> test_ok;
   auto testDischarges = [&](const VarDecl* root) {
-    if (plan.status != LoopStatus::RuntimeTest) return false;
+    if (!test_armed) return false;
     ensureScanned();
     auto it = test_ok.find(root);
     if (it == test_ok.end())
@@ -144,8 +163,12 @@ LoopCertificate certifyLoop(const Program& program, const LoopPlan& plan,
       } else if (syncDischarges(e)) {
         ++cert.discharged_sync;
         raiseTo(cert, CertifyVerdict::CertifiedSync);
-      } else if (e.exact && (plan.status == LoopStatus::Parallel ||
-                             plan.status == LoopStatus::Doacross)) {
+      } else if (e.exact && !test_armed &&
+                 (plan.status == LoopStatus::Parallel ||
+                  plan.status == LoopStatus::Doacross)) {
+        // A verified promotion keeps the RuntimeTest discipline: the
+        // test re-proved true, so an affinely-undischargeable exact edge
+        // falls through to Inconclusive (race-oracle deferral) below.
         ++cert.undischarged_exact;
         cert.notes.push_back("undischarged carried " + where);
         raiseTo(cert, CertifyVerdict::Disagree);
@@ -184,6 +207,15 @@ CertifyReport certifyPlans(const Program& program,
                            const AnalysisResult& analysis,
                            const LoopTree& loops, const ProgramPdg& pdg) {
   CertifyReport report;
+  // Independent re-proof of every promotion, sharing one lazily-built
+  // range analysis (same discipline as auditPlans).
+  std::unique_ptr<vra::RangeAnalysis> ranges;
+  auto promotionVerified = [&](const LoopPlan& plan) {
+    if (plan.vra_action != VraAction::PromotedParallel) return false;
+    if (!ranges) ranges = std::make_unique<vra::RangeAnalysis>(program);
+    return ranges->enabled() &&
+           ranges->proveTrue(plan.loop, plan.runtime_test);
+  };
   for (const LoopNode* ln : loops.allLoops()) {
     const LoopPlan* plan = analysis.planFor(ln->loop);
     if (!plan) continue;
@@ -191,7 +223,8 @@ CertifyReport certifyPlans(const Program& program,
         plan->status != LoopStatus::RuntimeTest &&
         plan->status != LoopStatus::Doacross)
       continue;
-    report.loops.push_back(certifyLoop(program, *plan, pdg));
+    report.loops.push_back(
+        certifyLoop(program, *plan, pdg, promotionVerified(*plan)));
   }
   return report;
 }

@@ -80,18 +80,6 @@ void setIoTimeouts(int fd, int seconds) {
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
-/// Whether `limits` (after env refinement) can actually exhaust — the
-/// daemon must not persist results computed under a governed budget:
-/// they may be soundly degraded, and serving them warm to an
-/// *ungoverned* request would violate plans-identical-to-cold-run.
-bool limitsGoverned(const BudgetLimits& l) {
-  if (l.deadline_seconds > 0 || l.max_fm_steps != 0 ||
-      l.max_loop_fm_steps != 0 || l.max_constraints != 0 ||
-      l.max_pieces != 0)
-    return true;
-  const char* fault = std::getenv("PADFA_FAULT_RATE");
-  return fault && *fault;
-}
 
 }  // namespace
 
@@ -432,7 +420,7 @@ JsonValue MfcDaemon::handleAnalysis(const Request& r) {
   else if (opts_.request_deadline_ms > 0)
     limits.deadline_seconds = opts_.request_deadline_ms / 1000.0;
   if (r.fm_steps > 0) limits.max_fm_steps = r.fm_steps;
-  bool governed = limitsGoverned(BudgetLimits::fromEnv(limits));
+  bool governed = BudgetLimits::fromEnv(limits).governed();
   bool cacheable = !governed && cachesEnabled();
 
   JsonValue v = JsonValue::object();

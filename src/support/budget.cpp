@@ -46,6 +46,14 @@ BudgetLimits BudgetLimits::fromEnv(const BudgetLimits& base) {
   return l;
 }
 
+bool BudgetLimits::governed() const {
+  if (deadline_seconds > 0 || max_fm_steps != 0 || max_loop_fm_steps != 0 ||
+      max_constraints != 0 || max_pieces != 0)
+    return true;
+  const char* fault = std::getenv("PADFA_FAULT_RATE");
+  return fault && *fault;
+}
+
 const char* budgetCauseName(BudgetCause cause) {
   switch (cause) {
     case BudgetCause::Deadline: return "deadline";

@@ -50,6 +50,14 @@ struct BudgetLimits {
   /// PADFA_BUDGET_LOOP_FM_STEPS, PADFA_BUDGET_CONSTRAINTS,
   /// PADFA_BUDGET_PIECES, PADFA_BUDGET_RECURSION.
   static BudgetLimits fromEnv(const BudgetLimits& base);
+
+  /// True when a budget built from these limits could exhaust: a finite
+  /// limit beyond the recursion backstop is set, or the PADFA_FAULT_RATE
+  /// fault injector is armed in the environment. Shared by the daemon's
+  /// persist guard, the incremental path, and the driver's decision to
+  /// skip value-range refinement under governance (degraded plans must
+  /// never feed promotions).
+  bool governed() const;
 };
 
 enum class BudgetCause : uint8_t {

@@ -66,6 +66,24 @@ std::string PerfStats::report() const {
             incremental.last_dirty_size.load(std::memory_order_relaxed)));
     out += buf;
   }
+  uint64_t proofs = vra.proofs.load(std::memory_order_relaxed);
+  if (proofs > 0) {
+    char buf[200];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  %-12s proofs=%llu discharged=%llu promoted=%llu demoted=%llu "
+        "doa-demoted=%llu\n",
+        "vra", static_cast<unsigned long long>(proofs),
+        static_cast<unsigned long long>(
+            vra.proofs_discharged.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            vra.promotions.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            vra.demotions.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            vra.doacross_demotions.load(std::memory_order_relaxed)));
+    out += buf;
+  }
   return out;
 }
 
@@ -102,6 +120,22 @@ JsonValue incrementalCountersToJson(const IncrementalCounters& c) {
   put("fingerprint_hits", c.fingerprint_hits);
   put("fingerprint_misses", c.fingerprint_misses);
   put("last_dirty_size", c.last_dirty_size);
+  return v;
+}
+
+JsonValue vraCountersToJson(const VraCounters& c) {
+  JsonValue v = JsonValue::object();
+  auto put = [&v](const char* key, const std::atomic<uint64_t>& a) {
+    v.set(key, JsonValue::of(static_cast<int64_t>(
+                   a.load(std::memory_order_relaxed))));
+  };
+  put("analyses", c.analyses);
+  put("widenings", c.widenings);
+  put("proofs", c.proofs);
+  put("proofs_discharged", c.proofs_discharged);
+  put("promotions", c.promotions);
+  put("demotions", c.demotions);
+  put("doacross_demotions", c.doacross_demotions);
   return v;
 }
 

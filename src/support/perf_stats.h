@@ -74,6 +74,31 @@ struct IncrementalCounters {
   }
 };
 
+/// Counters for the value-range analysis (vra/vra.h) and its clients.
+/// `proofs` counts provePred() queries, `proofs_discharged` the ones
+/// resolved to a definite True/False; promotions/demotions are the plan
+/// rewrites committed by the static runtime-test discharge pass and the
+/// Doacross profitability guard.
+struct VraCounters {
+  std::atomic<uint64_t> analyses{0};   ///< RangeAnalysis fixpoints run
+  std::atomic<uint64_t> widenings{0};  ///< loop-head widening applications
+  std::atomic<uint64_t> proofs{0};     ///< provePred() queries
+  std::atomic<uint64_t> proofs_discharged{0};  ///< ... resolved True/False
+  std::atomic<uint64_t> promotions{0};   ///< RuntimeTest -> Parallel
+  std::atomic<uint64_t> demotions{0};    ///< RuntimeTest -> Sequential
+  std::atomic<uint64_t> doacross_demotions{0};  ///< Doacross cost guard
+
+  void reset() {
+    analyses.store(0, std::memory_order_relaxed);
+    widenings.store(0, std::memory_order_relaxed);
+    proofs.store(0, std::memory_order_relaxed);
+    proofs_discharged.store(0, std::memory_order_relaxed);
+    promotions.store(0, std::memory_order_relaxed);
+    demotions.store(0, std::memory_order_relaxed);
+    doacross_demotions.store(0, std::memory_order_relaxed);
+  }
+};
+
 /// The process-wide counter set, one CacheStats per engine cache.
 struct PerfStats {
   CacheStats feasibility;  ///< pb::System::feasible() memo
@@ -81,6 +106,7 @@ struct PerfStats {
   CacheStats simplify;     ///< Pred::simplify memo
   CacheStats summary;      ///< translated callee-summary memo
   IncrementalCounters incremental;  ///< change-impact replay path
+  VraCounters vra;                  ///< value-range analysis + clients
 
   static PerfStats& instance();
 
@@ -90,6 +116,7 @@ struct PerfStats {
     simplify.reset();
     summary.reset();
     incremental.reset();
+    vra.reset();
   }
 
   /// One-line-per-cache human-readable dump for bench output.
@@ -109,6 +136,11 @@ JsonValue perfStatsToJson(const PerfStats& stats);
 ///  "fingerprint_hits":..,"fingerprint_misses":..,"last_dirty_size":..}
 /// — the mfcd `status` response's "incremental" object.
 JsonValue incrementalCountersToJson(const IncrementalCounters& c);
+
+/// {"analyses":..,"widenings":..,"proofs":..,"proofs_discharged":..,
+///  "promotions":..,"demotions":..,"doacross_demotions":..} — consumed
+/// by bench/fig_vra.cpp.
+JsonValue vraCountersToJson(const VraCounters& c);
 
 /// Whether the memoization layer is active. Defaults to the environment
 /// (PADFA_NO_CACHE unset/empty => enabled); a setCachesEnabled() call

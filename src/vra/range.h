@@ -1,0 +1,242 @@
+// Integer interval lattice for the predicate-aware value-range analysis
+// (DESIGN.md §15). A Range is a (possibly half-open) interval over
+// int64 program values; an absent bound means unbounded on that side,
+// and `empty` is the bottom element (no value / unreachable).
+//
+// Arithmetic is conservative: any bound whose exact computation would
+// overflow int64 is dropped (widened to unbounded) rather than clamped —
+// a clamped bound would be a *claim* about program values that the
+// program can violate.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace padfa::vra {
+
+struct Range {
+  std::optional<int64_t> lo;  // absent => -inf
+  std::optional<int64_t> hi;  // absent => +inf
+  bool empty = false;         // bottom: no value reaches this point
+
+  static Range top() { return {}; }
+  static Range bottom() {
+    Range r;
+    r.empty = true;
+    return r;
+  }
+  static Range constant(int64_t v) { return {v, v, false}; }
+  static Range of(std::optional<int64_t> lo, std::optional<int64_t> hi) {
+    if (lo && hi && *lo > *hi) return bottom();
+    return {lo, hi, false};
+  }
+  /// Booleans and comparison results.
+  static Range boolean() { return {int64_t{0}, int64_t{1}, false}; }
+
+  bool isTop() const { return !empty && !lo && !hi; }
+  bool isConstant() const { return !empty && lo && hi && *lo == *hi; }
+  std::optional<int64_t> asConstant() const {
+    if (isConstant()) return *lo;
+    return std::nullopt;
+  }
+  bool contains(int64_t v) const {
+    if (empty) return false;
+    if (lo && v < *lo) return false;
+    if (hi && v > *hi) return false;
+    return true;
+  }
+
+  bool operator==(const Range& o) const {
+    if (empty || o.empty) return empty == o.empty;
+    return lo == o.lo && hi == o.hi;
+  }
+  bool operator!=(const Range& o) const { return !(*this == o); }
+
+  std::string str() const {
+    if (empty) return "bot";
+    std::string s = "[";
+    s += lo ? std::to_string(*lo) : "-inf";
+    s += ", ";
+    s += hi ? std::to_string(*hi) : "+inf";
+    s += "]";
+    return s;
+  }
+};
+
+namespace detail {
+
+/// int64 addition/multiplication with overflow detected via __int128;
+/// overflowed bounds become "unbounded".
+inline std::optional<int64_t> checked(__int128 v) {
+  if (v > INT64_MAX || v < INT64_MIN) return std::nullopt;
+  return static_cast<int64_t>(v);
+}
+
+inline std::optional<int64_t> addBound(const std::optional<int64_t>& a,
+                                       const std::optional<int64_t>& b) {
+  if (!a || !b) return std::nullopt;
+  return checked(static_cast<__int128>(*a) + *b);
+}
+
+}  // namespace detail
+
+/// Least upper bound (interval union hull).
+inline Range join(const Range& a, const Range& b) {
+  if (a.empty) return b;
+  if (b.empty) return a;
+  Range r;
+  if (a.lo && b.lo) r.lo = std::min(*a.lo, *b.lo);
+  if (a.hi && b.hi) r.hi = std::max(*a.hi, *b.hi);
+  return r;
+}
+
+/// Greatest lower bound (interval intersection).
+inline Range meet(const Range& a, const Range& b) {
+  if (a.empty || b.empty) return Range::bottom();
+  Range r;
+  if (a.lo && b.lo)
+    r.lo = std::max(*a.lo, *b.lo);
+  else
+    r.lo = a.lo ? a.lo : b.lo;
+  if (a.hi && b.hi)
+    r.hi = std::min(*a.hi, *b.hi);
+  else
+    r.hi = a.hi ? a.hi : b.hi;
+  if (r.lo && r.hi && *r.lo > *r.hi) return Range::bottom();
+  return r;
+}
+
+/// Classic interval widening: a bound that moved since the previous
+/// iterate is pushed to infinity, guaranteeing fixpoint termination.
+inline Range widen(const Range& prev, const Range& next) {
+  if (prev.empty) return next;
+  if (next.empty) return prev;
+  Range r;
+  r.lo = (prev.lo && next.lo && *next.lo >= *prev.lo) ? prev.lo
+                                                      : std::nullopt;
+  r.hi = (prev.hi && next.hi && *next.hi <= *prev.hi) ? prev.hi
+                                                      : std::nullopt;
+  return r;
+}
+
+/// One narrowing step: bounds the widening threw to infinity may be
+/// recovered from the post-fixpoint iterate; finite bounds are kept.
+inline Range narrow(const Range& wide, const Range& next) {
+  if (wide.empty || next.empty) return next;
+  Range r;
+  r.lo = wide.lo ? wide.lo : next.lo;
+  r.hi = wide.hi ? wide.hi : next.hi;
+  if (r.lo && r.hi && *r.lo > *r.hi) return next;
+  return r;
+}
+
+inline Range add(const Range& a, const Range& b) {
+  if (a.empty || b.empty) return Range::bottom();
+  return {detail::addBound(a.lo, b.lo), detail::addBound(a.hi, b.hi), false};
+}
+
+inline Range neg(const Range& a) {
+  if (a.empty) return Range::bottom();
+  Range r;
+  if (a.hi) r.lo = detail::checked(-static_cast<__int128>(*a.hi));
+  if (a.lo) r.hi = detail::checked(-static_cast<__int128>(*a.lo));
+  return r;
+}
+
+inline Range sub(const Range& a, const Range& b) { return add(a, neg(b)); }
+
+inline Range mul(const Range& a, const Range& b) {
+  if (a.empty || b.empty) return Range::bottom();
+  // Any unbounded side makes the sign analysis messy; only the
+  // all-bounded case is common in MF programs, so keep the rest top —
+  // except the easy exact-constant zero.
+  if (a.asConstant() == std::optional<int64_t>{0} ||
+      b.asConstant() == std::optional<int64_t>{0})
+    return Range::constant(0);
+  if (!a.lo || !a.hi || !b.lo || !b.hi) return Range::top();
+  __int128 cands[4] = {
+      static_cast<__int128>(*a.lo) * *b.lo,
+      static_cast<__int128>(*a.lo) * *b.hi,
+      static_cast<__int128>(*a.hi) * *b.lo,
+      static_cast<__int128>(*a.hi) * *b.hi,
+  };
+  __int128 mn = cands[0], mx = cands[0];
+  for (__int128 c : cands) {
+    mn = std::min(mn, c);
+    mx = std::max(mx, c);
+  }
+  return {detail::checked(mn), detail::checked(mx), false};
+}
+
+/// Division by an exactly-known nonzero constant (C++ truncation
+/// semantics, monotone for a fixed divisor). Anything else is top —
+/// a zero-in-range divisor is a run-time fault, not a range question.
+inline Range div(const Range& a, const Range& b) {
+  if (a.empty || b.empty) return Range::bottom();
+  auto c = b.asConstant();
+  if (!c || *c == 0 || !a.lo || !a.hi) return Range::top();
+  int64_t x = *a.lo / *c, y = *a.hi / *c;
+  return {std::min(x, y), std::max(x, y), false};
+}
+
+/// Remainder by an exactly-known nonzero constant.
+inline Range rem(const Range& a, const Range& b) {
+  if (a.empty || b.empty) return Range::bottom();
+  auto c = b.asConstant();
+  if (!c || *c == 0) return Range::top();
+  int64_t m = *c < 0 ? -(*c + 1) : *c - 1;  // |c| - 1 without overflow on MIN
+  if (*c == INT64_MIN) m = INT64_MAX;
+  if (a.lo && *a.lo >= 0) {
+    int64_t hi = m;
+    if (a.hi && *a.hi < hi) hi = *a.hi;
+    return {int64_t{0}, hi, false};
+  }
+  return {-m, m, false};
+}
+
+inline Range min_(const Range& a, const Range& b) {
+  if (a.empty || b.empty) return Range::bottom();
+  Range r;
+  if (a.lo && b.lo) r.lo = std::min(*a.lo, *b.lo);
+  if (a.hi && b.hi)
+    r.hi = std::min(*a.hi, *b.hi);
+  else
+    r.hi = a.hi ? a.hi : b.hi;
+  return r;
+}
+
+inline Range max_(const Range& a, const Range& b) {
+  if (a.empty || b.empty) return Range::bottom();
+  Range r;
+  if (a.hi && b.hi) r.hi = std::max(*a.hi, *b.hi);
+  if (a.lo && b.lo)
+    r.lo = std::max(*a.lo, *b.lo);
+  else
+    r.lo = a.lo ? a.lo : b.lo;
+  return r;
+}
+
+inline Range abs_(const Range& a) {
+  if (a.empty) return Range::bottom();
+  Range pos = meet(a, Range::of(int64_t{0}, std::nullopt));
+  Range negpart = meet(a, Range::of(std::nullopt, int64_t{-1}));
+  Range r = Range::bottom();
+  if (!pos.empty) r = join(r, pos);
+  if (!negpart.empty) r = join(r, neg(negpart));
+  return r;
+}
+
+/// inoise(x, m): deterministic pseudo-random int in [0, m); m <= 0
+/// yields 0. The result is never negative, and when m's upper bound is
+/// known the result is at most max(0, hi(m) - 1).
+inline Range inoise(const Range& m) {
+  if (m.empty) return Range::bottom();
+  Range r;
+  r.lo = int64_t{0};
+  if (m.hi) r.hi = std::max<int64_t>(0, *m.hi - 1);
+  return r;
+}
+
+}  // namespace padfa::vra

@@ -1,0 +1,597 @@
+#include "vra/vra.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+
+#include "ipa/callgraph.h"
+#include "support/perf_stats.h"
+
+namespace padfa::vra {
+
+namespace {
+
+// -1 = no override (follow the environment), 0 = disabled, 1 = enabled.
+std::atomic<int> g_vra_override{-1};
+
+bool envVraEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("PADFA_NO_VRA");
+    return !(v && *v);
+  }();
+  return enabled;
+}
+
+RangeEnv unreachableEnv() {
+  RangeEnv e;
+  e.reachable = false;
+  return e;
+}
+
+RangeEnv joinEnv(const RangeEnv& a, const RangeEnv& b) {
+  if (!a.reachable) return b;
+  if (!b.reachable) return a;
+  RangeEnv r;
+  for (const auto& [d, ra] : a.vals) {
+    auto it = b.vals.find(d);
+    if (it == b.vals.end()) continue;  // top in b => top in the join
+    Range j = join(ra, it->second);
+    if (!j.isTop()) r.vals[d] = j;
+  }
+  return r;
+}
+
+RangeEnv widenEnv(const RangeEnv& prev, const RangeEnv& next) {
+  if (!prev.reachable) return next;
+  if (!next.reachable) return prev;
+  RangeEnv r;
+  for (const auto& [d, rp] : prev.vals) {
+    auto it = next.vals.find(d);
+    if (it == next.vals.end()) continue;  // moved to top: widen to top
+    Range w = widen(rp, it->second);
+    if (w != rp)
+      PerfStats::instance().vra.widenings.fetch_add(
+          1, std::memory_order_relaxed);
+    if (!w.isTop()) r.vals[d] = w;
+  }
+  return r;
+}
+
+/// One narrowing step from a post-fixpoint `wide` using the recomputed
+/// iterate `next`. Keys `next` dropped to top stay top (always sound).
+RangeEnv narrowEnv(const RangeEnv& wide, const RangeEnv& next) {
+  if (!wide.reachable || !next.reachable) return next;
+  RangeEnv r;
+  for (const auto& [d, rn] : next.vals) {
+    auto it = wide.vals.find(d);
+    Range res = it == wide.vals.end() ? rn : narrow(it->second, rn);
+    if (!res.isTop()) r.vals[d] = res;
+  }
+  return r;
+}
+
+bool envEq(const RangeEnv& a, const RangeEnv& b) {
+  if (a.reachable != b.reachable) return false;
+  if (!a.reachable) return true;
+  return a.vals == b.vals;
+}
+
+/// A tracked scalar: int, non-array, with a declaration.
+const VarDecl* trackedScalar(const Expr& e) {
+  if (e.kind != ExprKind::VarRef) return nullptr;
+  const VarDecl* d = static_cast<const VarRefExpr&>(e).decl;
+  if (!d || d->isArray() || d->elem_type != Type::Int) return nullptr;
+  return d;
+}
+
+/// Match `v`, `v + c`, `c + v`, `v - c` over a tracked scalar; the
+/// refinement for `expr <= bound` then tightens v by `bound - c`.
+struct VarPlusConst {
+  const VarDecl* var;
+  int64_t offset;
+};
+std::optional<VarPlusConst> decompose(const Expr& e) {
+  if (const VarDecl* d = trackedScalar(e)) return VarPlusConst{d, 0};
+  if (e.kind != ExprKind::Binary) return std::nullopt;
+  const auto& b = static_cast<const BinaryExpr&>(e);
+  if (b.op == BinOp::Add) {
+    if (const VarDecl* d = trackedScalar(*b.lhs))
+      if (b.rhs->kind == ExprKind::IntLit)
+        return VarPlusConst{d, static_cast<const IntLitExpr&>(*b.rhs).value};
+    if (const VarDecl* d = trackedScalar(*b.rhs))
+      if (b.lhs->kind == ExprKind::IntLit)
+        return VarPlusConst{d, static_cast<const IntLitExpr&>(*b.lhs).value};
+  } else if (b.op == BinOp::Sub) {
+    if (const VarDecl* d = trackedScalar(*b.lhs))
+      if (b.rhs->kind == ExprKind::IntLit)
+        return VarPlusConst{d, -static_cast<const IntLitExpr&>(*b.rhs).value};
+  }
+  return std::nullopt;
+}
+
+void meetVar(RangeEnv& env, const VarDecl* d, const Range& bound) {
+  if (!env.reachable) return;
+  Range m = meet(env.get(d), bound);
+  if (m.empty) {
+    env = unreachableEnv();
+    return;
+  }
+  env.set(d, m);
+}
+
+/// Refine with `lhs + slack <= rhs` (slack = -1 turns strict `<` into the
+/// inclusive form used below).
+void refineLe(RangeEnv& env, const Expr& lhs, const Expr& rhs,
+              int64_t slack) {
+  if (lhs.type == Type::Real || rhs.type == Type::Real) return;
+  if (auto vl = decompose(lhs)) {
+    // v + off + slack <= rhs  =>  v <= hi(rhs) - off - slack
+    Range b = sub(RangeAnalysis::evalIn(env, rhs),
+                  Range::constant(vl->offset + slack));
+    meetVar(env, vl->var, Range::of(std::nullopt, b.hi));
+  }
+  if (!env.reachable) return;
+  if (auto vr = decompose(rhs)) {
+    // lhs + slack <= v + off  =>  v >= lo(lhs) + slack - off
+    Range b = add(RangeAnalysis::evalIn(env, lhs),
+                  Range::constant(slack - vr->offset));
+    meetVar(env, vr->var, Range::of(b.lo, std::nullopt));
+  }
+}
+
+void refineEq(RangeEnv& env, const Expr& lhs, const Expr& rhs) {
+  if (lhs.type == Type::Real || rhs.type == Type::Real) return;
+  if (auto vl = decompose(lhs)) {
+    Range b = sub(RangeAnalysis::evalIn(env, rhs),
+                  Range::constant(vl->offset));
+    meetVar(env, vl->var, b);
+  }
+  if (!env.reachable) return;
+  if (auto vr = decompose(rhs)) {
+    Range b = sub(RangeAnalysis::evalIn(env, lhs),
+                  Range::constant(vr->offset));
+    meetVar(env, vr->var, b);
+  }
+}
+
+/// `v + off != other`: when `other` is an exactly-known constant sitting
+/// on an interval endpoint, shave the endpoint off.
+void refineNe(RangeEnv& env, const Expr& lhs, const Expr& rhs) {
+  if (lhs.type == Type::Real || rhs.type == Type::Real) return;
+  auto shave = [&env](const VarPlusConst& v, const Expr& other) {
+    auto c = RangeAnalysis::evalIn(env, other).asConstant();
+    if (!c) return;
+    int64_t forbidden = *c - v.offset;
+    Range r = env.get(v.var);
+    if (r.lo && r.hi && *r.lo == *r.hi && *r.lo == forbidden) {
+      env = unreachableEnv();
+      return;
+    }
+    if (r.lo && *r.lo == forbidden) r.lo = *r.lo + 1;
+    if (r.hi && *r.hi == forbidden) r.hi = *r.hi - 1;
+    env.set(v.var, r);
+  };
+  if (auto vl = decompose(lhs)) shave(*vl, rhs);
+  if (!env.reachable) return;
+  if (auto vr = decompose(rhs)) shave(*vr, lhs);
+}
+
+void refineAtom(RangeEnv& env, const PredNode& a) {
+  if (a.op == AtomOp::Le) {
+    if (!a.negated)
+      refineLe(env, *a.lhs, *a.rhs, 0);  // lhs <= rhs
+    else
+      refineLe(env, *a.rhs, *a.lhs, 1);  // lhs > rhs  ==  rhs + 1 <= lhs
+  } else {
+    if (!a.negated)
+      refineEq(env, *a.lhs, *a.rhs);
+    else
+      refineNe(env, *a.lhs, *a.rhs);
+  }
+}
+
+/// Three-valued comparison of two intervals under a canonical atom.
+Proof proveAtom(const RangeEnv& env, const PredNode& a) {
+  if (a.lhs->type == Type::Real || a.rhs->type == Type::Real)
+    return Proof::Unknown;
+  Range diff = sub(RangeAnalysis::evalIn(env, *a.rhs),
+                   RangeAnalysis::evalIn(env, *a.lhs));
+  if (diff.empty) return Proof::Unknown;
+  Proof p = Proof::Unknown;
+  if (a.op == AtomOp::Le) {  // lhs <= rhs  <=>  diff >= 0
+    if (diff.lo && *diff.lo >= 0) p = Proof::True;
+    if (diff.hi && *diff.hi < 0) p = Proof::False;
+  } else {  // lhs == rhs  <=>  diff == 0
+    if (diff.asConstant() == std::optional<int64_t>{0}) p = Proof::True;
+    if (!diff.contains(0)) p = Proof::False;
+  }
+  if (a.negated) {
+    if (p == Proof::True) return Proof::False;
+    if (p == Proof::False) return Proof::True;
+  }
+  return p;
+}
+
+}  // namespace
+
+bool vraEnabled() {
+  int ov = g_vra_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return ov != 0;
+  return envVraEnabled();
+}
+
+void setVraEnabled(bool enabled) {
+  g_vra_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void clearVraEnabledOverride() {
+  g_vra_override.store(-1, std::memory_order_relaxed);
+}
+
+RangeEnv refineEnv(const RangeEnv& env, const Pred& p) {
+  if (!env.reachable) return env;
+  const PredNode& n = p.node();
+  switch (n.kind) {
+    case PredKind::True:
+      return env;
+    case PredKind::False:
+      return unreachableEnv();
+    case PredKind::Atom: {
+      RangeEnv r = env;
+      refineAtom(r, n);
+      return r;
+    }
+    case PredKind::And: {
+      RangeEnv r = env;
+      for (const Pred& c : n.children) {
+        r = refineEnv(r, c);
+        if (!r.reachable) break;
+      }
+      return r;
+    }
+    case PredKind::Or: {
+      RangeEnv r = unreachableEnv();
+      for (const Pred& c : n.children) r = joinEnv(r, refineEnv(env, c));
+      return r;
+    }
+  }
+  return env;
+}
+
+const RangeEnv RangeAnalysis::kTopEnv{};
+
+RangeAnalysis::RangeAnalysis(const Program& program) : program_(&program) {
+  if (!vraEnabled()) return;
+  enabled_ = true;
+  PerfStats::instance().vra.analyses.fetch_add(1, std::memory_order_relaxed);
+  ipa::CallGraph cg = ipa::CallGraph::build(program);
+  auto order = cg.bottomUpOrder();
+  // Top-down (caller-before-callee): every call site's argument interval
+  // is accumulated into param_in_ before the callee is analyzed. A
+  // procedure inside a call cycle (impossible today — Sema rejects
+  // recursion) would see an unfinished caller and fall back to top.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const ProcDecl* proc = *it;
+    const auto& callers = cg.callers(proc);
+    bool callers_done = !callers.empty();
+    for (const ProcDecl* c : callers)
+      if (!proc_done_.count(c)) callers_done = false;
+    RangeEnv env;
+    for (const auto& pd : proc->params) {
+      const VarDecl* p = pd.get();
+      if (p->isArray() || p->elem_type != Type::Int) continue;
+      if (callers_done) {
+        auto pit = param_in_.find(p);
+        if (pit != param_in_.end()) env.set(p, pit->second);
+      }
+    }
+    transferBlock(*proc->body, std::move(env), /*record=*/true);
+    proc_done_[proc] = true;
+  }
+}
+
+const RangeEnv& RangeAnalysis::envAt(const Stmt* s) const {
+  if (!enabled_) return kTopEnv;
+  auto it = at_.find(s);
+  return it == at_.end() ? kTopEnv : it->second;
+}
+
+Range RangeAnalysis::rangeAt(const Stmt* s, const VarDecl* d) const {
+  return envAt(s).get(d);
+}
+
+Range RangeAnalysis::evalAt(const Stmt* s, const Expr& e) const {
+  if (!enabled_) return Range::top();
+  return evalIn(envAt(s), e);
+}
+
+Proof RangeAnalysis::provePred(const Stmt* s, const Pred& p) const {
+  if (!enabled_) return Proof::Unknown;
+  auto& vc = PerfStats::instance().vra;
+  vc.proofs.fetch_add(1, std::memory_order_relaxed);
+  Proof r = proveIn(envAt(s), p);
+  if (r != Proof::Unknown)
+    vc.proofs_discharged.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+Range RangeAnalysis::evalIn(const RangeEnv& env, const Expr& e) {
+  if (!env.reachable) return Range::bottom();
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return Range::constant(static_cast<const IntLitExpr&>(e).value);
+    case ExprKind::RealLit:
+      return Range::top();
+    case ExprKind::VarRef: {
+      const VarDecl* d = trackedScalar(e);
+      return d ? env.get(d) : Range::top();
+    }
+    case ExprKind::ArrayRef:
+      return Range::top();  // array contents are not tracked
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      Range o = evalIn(env, *u.operand);
+      if (u.op == UnOp::Neg) return neg(o);
+      // Not: int truthiness
+      if (o.asConstant() == std::optional<int64_t>{0})
+        return Range::constant(1);
+      if (!o.contains(0)) return Range::constant(0);
+      return Range::boolean();
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      if (isComparison(b.op)) {
+        if (b.lhs->type == Type::Real || b.rhs->type == Type::Real)
+          return Range::boolean();
+        Range l = evalIn(env, *b.lhs), r = evalIn(env, *b.rhs);
+        Range diff = sub(r, l);
+        if (diff.empty) return Range::boolean();
+        // truth(diff `rel` 0) for the relation rewritten as rhs - lhs
+        auto truth = [](Proof p) {
+          if (p == Proof::True) return Range::constant(1);
+          if (p == Proof::False) return Range::constant(0);
+          return Range::boolean();
+        };
+        auto cmp = [&diff](int64_t min_true) {
+          // "diff >= min_true" three-valued
+          if (diff.lo && *diff.lo >= min_true) return Proof::True;
+          if (diff.hi && *diff.hi < min_true) return Proof::False;
+          return Proof::Unknown;
+        };
+        switch (b.op) {
+          case BinOp::Lt:
+            return truth(cmp(1));
+          case BinOp::Le:
+            return truth(cmp(0));
+          case BinOp::Gt: {
+            // lhs > rhs  <=>  diff <= -1: the negation of diff >= 0
+            Proof p = cmp(0);
+            if (p == Proof::True) return Range::constant(0);
+            if (p == Proof::False) return Range::constant(1);
+            return Range::boolean();
+          }
+          case BinOp::Ge: {
+            // lhs >= rhs  <=>  diff <= 0: the negation of diff >= 1
+            Proof p = cmp(1);
+            if (p == Proof::True) return Range::constant(0);
+            if (p == Proof::False) return Range::constant(1);
+            return Range::boolean();
+          }
+          case BinOp::Eq: {
+            if (diff.asConstant() == std::optional<int64_t>{0})
+              return Range::constant(1);
+            if (!diff.contains(0)) return Range::constant(0);
+            return Range::boolean();
+          }
+          case BinOp::Ne: {
+            if (!diff.contains(0)) return Range::constant(1);
+            if (diff.asConstant() == std::optional<int64_t>{0})
+              return Range::constant(0);
+            return Range::boolean();
+          }
+          default:
+            return Range::boolean();
+        }
+      }
+      if (isLogical(b.op)) return Range::boolean();
+      if (e.type == Type::Real) return Range::top();
+      Range l = evalIn(env, *b.lhs), r = evalIn(env, *b.rhs);
+      switch (b.op) {
+        case BinOp::Add:
+          return add(l, r);
+        case BinOp::Sub:
+          return sub(l, r);
+        case BinOp::Mul:
+          return mul(l, r);
+        case BinOp::Div:
+          return div(l, r);
+        case BinOp::Rem:
+          return rem(l, r);
+        default:
+          return Range::top();
+      }
+    }
+    case ExprKind::Intrinsic: {
+      const auto& in = static_cast<const IntrinsicExpr&>(e);
+      if (e.type == Type::Real) return Range::top();
+      switch (in.fn) {
+        case Intrinsic::Min:
+          return min_(evalIn(env, *in.args[0]), evalIn(env, *in.args[1]));
+        case Intrinsic::Max:
+          return max_(evalIn(env, *in.args[0]), evalIn(env, *in.args[1]));
+        case Intrinsic::Abs:
+          return abs_(evalIn(env, *in.args[0]));
+        case Intrinsic::INoise:
+          return inoise(evalIn(env, *in.args[1]));
+        default:
+          return Range::top();
+      }
+    }
+  }
+  return Range::top();
+}
+
+Proof RangeAnalysis::proveIn(const RangeEnv& env, const Pred& p) {
+  if (!env.reachable) return Proof::Unknown;
+  const PredNode& n = p.node();
+  switch (n.kind) {
+    case PredKind::True:
+      return Proof::True;
+    case PredKind::False:
+      return Proof::False;
+    case PredKind::Atom:
+      return proveAtom(env, n);
+    case PredKind::And: {
+      bool all_true = true;
+      for (const Pred& c : n.children) {
+        Proof r = proveIn(env, c);
+        if (r == Proof::False) return Proof::False;
+        if (r != Proof::True) all_true = false;
+      }
+      return all_true ? Proof::True : Proof::Unknown;
+    }
+    case PredKind::Or: {
+      bool all_false = true;
+      for (const Pred& c : n.children) {
+        Proof r = proveIn(env, c);
+        if (r == Proof::True) return Proof::True;
+        if (r != Proof::False) all_false = false;
+      }
+      return all_false ? Proof::False : Proof::Unknown;
+    }
+  }
+  return Proof::Unknown;
+}
+
+RangeEnv RangeAnalysis::transferBlock(const BlockStmt& block, RangeEnv env,
+                                      bool record) {
+  if (record) at_[&block] = env;
+  // Declarations are hoisted: scalars reset to zero (or their
+  // initializer) at block entry, every time the block is entered.
+  for (const auto& d : block.decls) {
+    if (d->isArray() || d->is_loop_index || d->elem_type != Type::Int)
+      continue;
+    env.set(d.get(),
+            d->init ? evalIn(env, *d->init) : Range::constant(0));
+  }
+  for (const auto& s : block.stmts) env = transferStmt(*s, env, record);
+  return env;
+}
+
+RangeEnv RangeAnalysis::transferStmt(const Stmt& stmt, RangeEnv env,
+                                     bool record) {
+  if (stmt.kind == StmtKind::Block)
+    return transferBlock(static_cast<const BlockStmt&>(stmt), std::move(env),
+                         record);
+  if (record) at_[&stmt] = env;
+  switch (stmt.kind) {
+    case StmtKind::Assign: {
+      const auto& as = static_cast<const AssignStmt&>(stmt);
+      if (const VarDecl* d = trackedScalar(*as.target))
+        env.set(d, evalIn(env, *as.value));
+      return env;
+    }
+    case StmtKind::If: {
+      const auto& is = static_cast<const IfStmt&>(stmt);
+      Pred p = Pred::fromCondition(*is.cond, program_->interner);
+      RangeEnv then_out =
+          transferBlock(*is.then_block, refineEnv(env, p), record);
+      RangeEnv else_out = refineEnv(env, !p);
+      if (is.else_block)
+        else_out = transferBlock(*is.else_block, std::move(else_out), record);
+      return joinEnv(then_out, else_out);
+    }
+    case StmtKind::For:
+      return transferFor(static_cast<const ForStmt&>(stmt), std::move(env),
+                         record);
+    case StmtKind::Call: {
+      const auto& cs = static_cast<const CallStmt&>(stmt);
+      // Accumulate argument intervals for the callee's top-down entry env
+      // (record pass only: fixpoint iterates are not invariants yet).
+      // By-value scalar parameters mean the caller env is unchanged.
+      if (record && cs.callee_proc) {
+        const auto& params = cs.callee_proc->params;
+        for (size_t i = 0; i < cs.args.size() && i < params.size(); ++i) {
+          const VarDecl* p = params[i].get();
+          if (p->isArray() || p->elem_type != Type::Int) continue;
+          Range arg = evalIn(env, *cs.args[i]);
+          auto [it, inserted] = param_in_.emplace(p, arg);
+          if (!inserted) it->second = join(it->second, arg);
+        }
+      }
+      return env;
+    }
+    case StmtKind::Return:
+      return unreachableEnv();
+    case StmtKind::Block:
+      break;  // handled above
+  }
+  return env;
+}
+
+RangeEnv RangeAnalysis::transferFor(const ForStmt& loop, RangeEnv env,
+                                    bool record) {
+  Range lb = evalIn(env, *loop.lower);
+  Range ub = evalIn(env, *loop.upper);
+  Range step = loop.step ? evalIn(env, *loop.step) : Range::constant(1);
+  bool asc = step.lo && *step.lo >= 1;
+  bool desc = step.hi && *step.hi <= -1;
+  // Bounds are evaluated once at loop entry; ascending loops keep
+  // lb <= i <= ub, descending ones ub <= i <= lb (inclusive semantics).
+  Range idx;
+  if (asc)
+    idx = Range::of(lb.lo, ub.hi);
+  else if (desc)
+    idx = Range::of(ub.lo, lb.hi);
+  else
+    idx = join(lb, ub);
+
+  RangeEnv body_in = env;
+  if (idx.empty) {
+    body_in = unreachableEnv();
+    idx = Range::top();
+  } else if (asc) {
+    // The body executing implies lower <= upper.
+    refineLe(body_in, *loop.lower, *loop.upper, 0);
+  } else if (desc) {
+    refineLe(body_in, *loop.upper, *loop.lower, 0);
+  }
+  body_in.set(loop.index_decl, idx);
+
+  RangeEnv cur = body_in;
+  bool stable = false;
+  for (int iter = 0; iter < 64; ++iter) {
+    RangeEnv out = transferBlock(*loop.body, cur, /*record=*/false);
+    out.set(loop.index_decl, idx);
+    RangeEnv next = joinEnv(body_in, out);
+    next.set(loop.index_decl, idx);
+    RangeEnv wide = iter >= 2 ? widenEnv(cur, next) : std::move(next);
+    if (envEq(wide, cur)) {
+      stable = true;
+      break;
+    }
+    cur = std::move(wide);
+  }
+  if (!stable) {
+    // Defensive cap (unreachable for realistic programs): fall back to
+    // the trivially-invariant top environment.
+    RangeEnv top;
+    top.reachable = cur.reachable;
+    top.set(loop.index_decl, idx);
+    cur = std::move(top);
+  }
+  {
+    // One narrowing pass recovers bounds the widening overshot.
+    RangeEnv out = transferBlock(*loop.body, cur, /*record=*/false);
+    out.set(loop.index_decl, idx);
+    RangeEnv next = joinEnv(body_in, out);
+    next.set(loop.index_decl, idx);
+    cur = narrowEnv(cur, next);
+  }
+  RangeEnv body_out = transferBlock(*loop.body, cur, record);
+  body_out.vals.erase(loop.index_decl);
+  // Exit: the zero-trip path joins the post-body invariant.
+  return joinEnv(env, body_out);
+}
+
+}  // namespace padfa::vra

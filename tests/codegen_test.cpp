@@ -85,7 +85,7 @@ proc main() {
 TEST(ParallelEmit, ExpandsTwoVersionLoops) {
   auto cp = compileOk(R"(
 proc main() {
-  int d; d = inoise(3, 1) + 300;
+  int d; d = inoise(3, 2) + 299;
   real x[900];
   for j = 0 to 899 { x[j] = noise(j); }
   for i = 300 to 599 { x[i] = x[i - d] + 1.0; }

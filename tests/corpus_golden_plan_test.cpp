@@ -31,7 +31,7 @@ const std::vector<GoldenProgram>& golden() {
         {"main/L21", "base-parallel"},
         {"main/L23", "base-parallel"},
         {"main/L26", "base-parallel"},
-        {"main/L27", "pred-doacross"},
+        {"main/L27", "nested-in-parallel"},
         {"main/L32", "base-parallel"}}},
       {"swim",
        {{"main/L8", "base-parallel"},
@@ -58,13 +58,13 @@ const std::vector<GoldenProgram>& golden() {
         {"smooth/L4", "base-parallel"},
         {"main/L14", "base-parallel"},
         {"main/L15", "base-parallel"},
-        {"main/L19", "pred-doacross"},
+        {"main/L19", "sequential"},
         {"main/L23", "base-parallel"}}},
       {"applu",
        {{"main/L7", "base-parallel"},
         {"main/L8", "base-parallel"},
         {"main/L9", "sequential"},
-        {"main/L10", "pred-doacross"},
+        {"main/L10", "sequential"},
         {"main/L12", "base-parallel"}}},
       {"turb3d",
        {{"main/L5", "base-parallel"},
@@ -79,13 +79,13 @@ const std::vector<GoldenProgram>& golden() {
         {"main/L13", "base-parallel"},
         {"main/L17", "base-parallel"}}},
       {"fpppp",
-       {{"main/L8", "pred-doacross"},
-        {"main/L9", "pred-doacross"},
+       {{"main/L8", "sequential"},
+        {"main/L9", "sequential"},
         {"main/L10", "base-parallel"},
         {"main/L12", "base-parallel"}}},
       {"wave5",
        {{"main/L7", "base-parallel"},
-        {"main/L8", "pred-parallel-rt"},
+        {"main/L8", "pred-parallel-ct"},
         {"main/L11", "base-parallel"},
         {"main/L12", "base-parallel"},
         {"main/L15", "base-parallel"}}},
@@ -101,7 +101,7 @@ const std::vector<GoldenProgram>& golden() {
        {{"main/L6", "base-parallel"},
         {"main/L7", "base-parallel"},
         {"main/L9", "sequential"},
-        {"main/L10", "pred-doacross"},
+        {"main/L10", "sequential"},
         {"main/L14", "base-parallel"},
         {"main/L15", "base-parallel"},
         {"main/L18", "base-parallel"}}},
@@ -146,7 +146,7 @@ const std::vector<GoldenProgram>& golden() {
         {"main/L9", "base-parallel"},
         {"main/L10", "base-parallel"},
         {"main/L14", "base-parallel"},
-        {"main/L15", "pred-doacross"},
+        {"main/L15", "nested-in-parallel"},
         {"main/L18", "base-parallel"}}},
       {"arc2d",
        {{"main/L7", "base-parallel"},
@@ -159,7 +159,7 @@ const std::vector<GoldenProgram>& golden() {
        {{"main/L7", "base-parallel"},
         {"main/L8", "base-parallel"},
         {"main/L10", "nested-in-parallel"},
-        {"main/L14", "pred-doacross"},
+        {"main/L14", "sequential"},
         {"main/L16", "base-parallel"}}},
       {"dyfesm",
        {{"main/L8", "base-parallel"},
@@ -172,7 +172,7 @@ const std::vector<GoldenProgram>& golden() {
         {"main/L7", "base-parallel"},
         {"main/L9", "base-parallel"},
         {"main/L10", "base-parallel"},
-        {"main/L16", "pred-doacross"},
+        {"main/L16", "sequential"},
         {"main/L18", "base-parallel"}}},
       {"mdg",
        {{"main/L7", "base-parallel"},
@@ -182,7 +182,7 @@ const std::vector<GoldenProgram>& golden() {
         {"main/L15", "base-parallel"}}},
       {"ocean",
        {{"main/L7", "base-parallel"},
-        {"main/L8", "pred-parallel-rt"},
+        {"main/L8", "pred-parallel-ct"},
         {"main/L11", "base-parallel"},
         {"main/L13", "base-parallel"}}},
       {"qcd",
@@ -196,7 +196,7 @@ const std::vector<GoldenProgram>& golden() {
         {"main/L7", "base-parallel"},
         {"main/L9", "base-parallel"},
         {"main/L11", "base-parallel"},
-        {"main/L14", "pred-doacross"},
+        {"main/L14", "sequential"},
         {"main/L16", "base-parallel"}}},
       {"track",
        {{"main/L7", "base-parallel"},
@@ -216,7 +216,7 @@ const std::vector<GoldenProgram>& golden() {
         {"main/L7", "base-parallel"},
         {"main/L9", "base-parallel"},
         {"main/L10", "base-parallel"},
-        {"main/L11", "pred-doacross"},
+        {"main/L11", "nested-in-parallel"},
         {"main/L15", "base-parallel"},
         {"main/L19", "base-parallel"}}},
       {"sor_pipe",

@@ -16,6 +16,7 @@
 #include "driver/padfa.h"
 #include "driver/plan_signature.h"
 #include "interp/interp.h"
+#include "vra/vra.h"
 
 namespace padfa {
 namespace {
@@ -71,6 +72,14 @@ std::string notesOf(const AuditReport& rep) {
 
 // -------------------------------------------------- classification ----
 
+/// RAII: compile with the value-range analysis off (the raw Doacross
+/// machinery under test predates the profitability guard, which demotes
+/// bare single-statement recurrences — see DoacrossCost below).
+struct VraOff {
+  VraOff() { vra::setVraEnabled(false); }
+  ~VraOff() { vra::clearVraEnabledOverride(); }
+};
+
 const char* kUnitRecurrence = R"(
 proc main() {
   real a[64];
@@ -81,7 +90,23 @@ proc main() {
 }
 )";
 
+/// Same recurrence plus an independent per-iteration prefix: there is
+/// real work to overlap, so the profitability guard lets it pipeline.
+const char* kPipelinedRecurrence = R"(
+proc main() {
+  real a[64];
+  real b[64];
+  for i = 1 to 63 {
+    b[i] = noise(i) * 0.25;
+    a[i] = a[i - 1] * 0.5 + b[i];
+  }
+  sink(a[63]);
+  sink(b[63]);
+}
+)";
+
 TEST(DoacrossClassify, UnitStepRecurrenceUpgrades) {
+  VraOff off;
   CompiledProgram cp = compile(kUnitRecurrence);
   const LoopPlan* plan = doacrossPlan(cp);
   ASSERT_NE(plan, nullptr);
@@ -97,6 +122,7 @@ TEST(DoacrossClassify, StepTwoStoresOrdinalDistance) {
   // Index distance 2 over step 2 is ONE iteration: the sync requirement
   // must be stored in iteration ordinals, not index space — the runtime
   // post/wait cells count ordinals.
+  VraOff off;
   CompiledProgram cp = compile(R"(
 proc main() {
   real a[64];
@@ -163,6 +189,68 @@ proc main() {
   EXPECT_EQ(doacrossConstStep(*down), std::nullopt);
 }
 
+// -------------------------------------------------- profitability ----
+
+TEST(DoacrossCost, LossMakingRecurrenceDemoted) {
+  // The whole body IS the recurrence: every iteration waits for its
+  // predecessor to finish everything, so the pipeline degenerates to a
+  // sequential schedule plus post/wait overhead. The value-range cost
+  // guard keeps the loop Sequential and records why.
+  CompiledProgram cp = compile(kUnitRecurrence);
+  for (const auto& [loop, plan] : cp.pred.plans)
+    EXPECT_NE(plan.status, LoopStatus::Doacross) << loop->loop_id;
+  bool saw_demotion = false;
+  for (const auto& [loop, plan] : cp.pred.plans) {
+    if (plan.vra_action != VraAction::DoacrossCost) continue;
+    saw_demotion = true;
+    EXPECT_EQ(plan.status, LoopStatus::Sequential);
+    EXPECT_NE(plan.reason.find("loop-carried"), std::string::npos);
+  }
+  EXPECT_TRUE(saw_demotion);
+}
+
+TEST(DoacrossCost, SpanBelowStepDemotes) {
+  // lb=8, ub=9, step=4: at most one iteration ever runs — nothing to
+  // pipeline, whatever the body looks like.
+  CompiledProgram cp = compile(R"(
+proc main() {
+  real a[16];
+  real b[16];
+  for i = 8 to 9 step 4 {
+    b[i] = noise(i) * 0.25;
+    a[i] = a[i - 4] * 0.5 + b[i];
+  }
+  sink(a[9]);
+  sink(b[9]);
+}
+)");
+  for (const auto& [loop, plan] : cp.pred.plans)
+    EXPECT_NE(plan.status, LoopStatus::Doacross) << loop->loop_id;
+}
+
+TEST(DoacrossCost, IndependentPrefixSurvivesTheGuard) {
+  // The independent prefix gives iteration i+1 work to do while waiting
+  // on iteration i's tail: profitable, so the upgrade commits.
+  CompiledProgram cp = compile(kPipelinedRecurrence);
+  const LoopPlan* plan = doacrossPlan(cp);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->vra_action, VraAction::None);
+  ASSERT_EQ(plan->syncs.size(), 1u);
+  EXPECT_EQ(plan->syncs[0].distance, 1);
+}
+
+TEST(DoacrossCost, DisabledVraReproducesTheOldUpgrade) {
+  // Under PADFA_NO_VRA the guard must be inert: the bare recurrence
+  // upgrades exactly as it did before the value-range pass existed, and
+  // its plan signature carries no vra marker.
+  VraOff off;
+  CompiledProgram cp = compile(kUnitRecurrence);
+  const LoopPlan* plan = doacrossPlan(cp);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->vra_action, VraAction::None);
+  EXPECT_EQ(planSignature(cp).find(" vra="), std::string::npos);
+}
+
 // --------------------------------------------------- elimination ----
 
 TEST(DoacrossElimination, WavefrontDropsImpliedRequirement) {
@@ -203,6 +291,7 @@ TEST(DoacrossElimination, CoverageRuleAgreesWithTheAuditor) {
 // --------------------------------------------------------- audit ----
 
 TEST(DoacrossAudit, AuditorDischargesDeclaredSyncs) {
+  VraOff off;
   CompiledProgram cp = compile(kUnitRecurrence);
   DiagEngine diags;
   AuditReport rep = auditPlans(*cp.program, cp.pred, diags);
@@ -222,6 +311,7 @@ TEST(DoacrossAudit, AuditorDischargesDeclaredSyncs) {
 TEST(DoacrossAudit, AuditorCatchesForgedDistance) {
   // Weakening the declared sync (distance 1 -> 2) leaves the real
   // distance-1 dependence uncovered; the auditor must flag it.
+  VraOff off;
   CompiledProgram cp = compile(kUnitRecurrence);
   AnalysisResult forged = cp.pred;
   int forced = 0;
@@ -240,6 +330,7 @@ TEST(DoacrossAudit, AuditorCatchesForgedDistance) {
 TEST(DoacrossAudit, AuditorCatchesForgedElimination) {
   // Marking the only requirement eliminated forges an elimination the
   // kept (now empty) set cannot imply; checkSyncs() must reject it.
+  VraOff off;
   CompiledProgram cp = compile(kUnitRecurrence);
   AnalysisResult forged = cp.pred;
   int forced = 0;
@@ -277,6 +368,7 @@ TEST(DoacrossOracle, CleanOnExecutedDoacrossLoops) {
 TEST(DoacrossOracle, CatchesForgedDistance) {
   // The oracle checks accesses modulo the DECLARED sync distances; a
   // forged distance exposes the true distance-1 flow as a violation.
+  VraOff off;
   CompiledProgram cp = compile(kUnitRecurrence);
   AnalysisResult forged = cp.pred;
   for (auto& [loop, plan] : forged.plans)

@@ -46,11 +46,11 @@ proc main() {
 }
 )");
   EXPECT_EQ(outcomeAt(cp, 4), LoopOutcome::BaseParallel);
-  // The inner loop is a constant-distance recurrence, so the Doacross
-  // upgrade claims it (plan status outranks nestedness, as for CT/RT);
-  // at run time it still executes sequentially inside the parallel
-  // outer loop.
-  EXPECT_EQ(outcomeAt(cp, 5), LoopOutcome::PredDoacross);
+  // The inner loop is a constant-distance recurrence, but its whole body
+  // IS the recurrence: the value-range profitability guard rejects the
+  // Doacross upgrade (a pipeline with nothing to overlap), so the loop
+  // stays sequential inside the parallel outer loop.
+  EXPECT_EQ(outcomeAt(cp, 5), LoopOutcome::NestedInParallel);
   for (const LoopNode* node : cp.loops.allLoops()) {
     if (node->loop->loc.line == 5) {
       EXPECT_TRUE(nestedInsideParallelized(cp, node->loop, cp.base));
@@ -147,8 +147,11 @@ proc main() {
   // Writes of distinct iterations overlap; the write region varies per
   // iteration, so last-value copy-out privatization is not applicable.
   // The output dependence has constant iteration distance 1 (index
-  // distance 2 over step 2), so the Doacross upgrade pipelines it.
-  EXPECT_EQ(outcomeAt(cp, 4), LoopOutcome::PredDoacross);
+  // distance 2 over step 2) — Doacross-coverable, but the sink is the
+  // body's first statement and the source its last, so the pipeline
+  // would degenerate to sequential order: the profitability guard keeps
+  // the loop Sequential.
+  EXPECT_EQ(outcomeAt(cp, 4), LoopOutcome::SequentialBoth);
 }
 
 TEST(Shapes, OuterIndexInInnerSubscript) {
@@ -171,8 +174,10 @@ proc main() {
 TEST(Shapes, TwoArraysSwapStaysSequential) {
   // Ping-pong through a scalar-free cycle: a reads b, b reads a shifted —
   // the b write feeding next iteration's a read is a flow dependence.
-  // Both carried flows have constant distance 1, so no system DOALLs it
-  // but the Doacross upgrade pipelines it with two post/wait pairs.
+  // Both carried flows have constant distance 1, so no system DOALLs it;
+  // Doacross could cover them, but the head-to-tail distance-1 sync
+  // (first statement waits on the previous iteration's last) admits no
+  // overlap, so the profitability guard keeps the loop Sequential.
   auto cp = compileOk(R"(
 proc main() {
   real a[100];
@@ -185,7 +190,7 @@ proc main() {
   sink(a[50] + b[50]);
 }
 )");
-  EXPECT_EQ(outcomeAt(cp, 6), LoopOutcome::PredDoacross);
+  EXPECT_EQ(outcomeAt(cp, 6), LoopOutcome::SequentialBoth);
 }
 
 TEST(Shapes, ReadOnlySharedArrayIsFine) {

@@ -183,7 +183,7 @@ proc maybeset(real v[n], int n, int go, int at, real val) {
   if (go > 0) { v[at] = val; }
 }
 proc main() {
-  int flag; flag = inoise(3, 1);
+  int flag; flag = inoise(3, 2);
   real out[40];
   real buf[64];
   for j = 0 to 63 { buf[j] = noise(j); }
